@@ -1,0 +1,259 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper: Figure 1, the
+   Equation-4 series, every row of Tables 1 and 2, the related-work results,
+   and the ablation studies — each printed with its reproduction checks.
+
+   Part 2 is the Bechamel microbenchmark suite: one [Test.make] per paper
+   artefact, timing the computational kernel behind that experiment, so
+   regressions in the simulators and analyses are visible. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Part 2 fixtures: prepared outside the staged closures. ------------- *)
+
+let fig1_fixture =
+  let w = Isa.Workload.bubble_sort ~n:5 in
+  let program, _ = Isa.Workload.program w in
+  let state =
+    match Predictability.Harness.inorder_states program w with
+    | q :: _ -> q
+    | [] -> assert false
+  in
+  let input = match w.Isa.Workload.inputs with i :: _ -> i | [] -> assert false in
+  (program, state, input)
+
+let branch_fixture =
+  let w = Isa.Workload.branchy ~n:16 in
+  let program, _ = Isa.Workload.program w in
+  let input = match w.Isa.Workload.inputs with i :: _ -> i | [] -> assert false in
+  Pipeline.Trace_util.branch_events program (Isa.Exec.run program input)
+
+let superscalar_fixture =
+  let w = Predictability.Exp_superscalar.kernel_workload () in
+  let program, _ = Isa.Workload.program w in
+  let input = match w.Isa.Workload.inputs with i :: _ -> i | [] -> assert false in
+  (program, Isa.Exec.run program input)
+
+let outcome_of w =
+  let program, _ = Isa.Workload.program w in
+  let input = match w.Isa.Workload.inputs with i :: _ -> i | [] -> assert false in
+  (program, Isa.Exec.run program input)
+
+let smt_fixture =
+  let _, rt = outcome_of (Isa.Workload.fir ~taps:2 ~samples:3) in
+  let _, co = outcome_of (Isa.Workload.crc ~bits:10) in
+  (rt, co)
+
+let tdm_fixture =
+  List.init 12 (fun i ->
+      { Arbiter.Arbitration.client = i mod 4; arrival = i * 7; service = 4 })
+
+let interleaved_fixture =
+  let _, a = outcome_of (Isa.Workload.crc ~bits:8) in
+  let _, b = outcome_of (Isa.Workload.max_array ~n:8) in
+  [ a; b; a; b ]
+
+let ooo_fixture = outcome_of (Isa.Workload.fir ~taps:3 ~samples:4)
+
+let method_cache_fixture =
+  let w = Isa.Workload.call_chain ~calls:4 ~rounds:6 in
+  outcome_of w
+
+let mustmay_fixture = List.init 64 (fun i -> (i mod 12) * 4)
+
+let locking_fixture =
+  let program, outcome = outcome_of (Isa.Workload.crc ~bits:10) in
+  let cfg = { Cache.Set_assoc.sets = 2; ways = 2; line = 16; kind = Cache.Policy.Lru } in
+  let blocks =
+    Array.to_list outcome.Isa.Exec.trace
+    |> List.map (fun (ev : Isa.Exec.event) ->
+        Cache.Set_assoc.block_of_addr cfg (Isa.Program.instr_address program ev.pc))
+  in
+  let profile =
+    List.map (fun b -> (b, 1)) (Prelude.Listx.uniq Stdlib.compare blocks)
+  in
+  (Cache.Locking.lock_greedy ~config:cfg ~profile, blocks)
+
+let dram_fixture =
+  let timing = Dram.Timing.default in
+  let config =
+    { Dram.Controller.timing; policy = Dram.Controller.Amc;
+      refresh = Dram.Controller.Distributed; refresh_phase = 0; clients = 2 }
+  in
+  let requests =
+    Dram.Traffic.streaming ~client:0 ~banks:timing.Dram.Timing.banks ~count:16
+      ~period:30 0
+    @ Dram.Traffic.streaming ~client:1 ~banks:timing.Dram.Timing.banks ~count:16
+        ~period:30 3
+  in
+  (config, requests)
+
+let singlepath_fixture = Isa.Workload.clamp ()
+
+let wcet_fixture =
+  let w = Isa.Workload.fir ~taps:3 ~samples:4 in
+  let _, shapes = Isa.Workload.program w in
+  shapes
+
+let wcet_config =
+  { Analysis.Wcet.icache =
+      Analysis.Wcet.Cached_fetch
+        { config = Predictability.Harness.icache_config;
+          hit = Predictability.Harness.icache_hit;
+          miss = Predictability.Harness.icache_miss };
+    dmem = Analysis.Wcet.Range_data { best = 1; worst = 8 };
+    unroll = true; budget = None }
+
+let tests =
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [ stage "FIG1/inorder_T(q,i)" (fun () ->
+        let program, state, input = fig1_fixture in
+        Pipeline.Inorder.time program state input);
+    stage "EQ4/domino_kernel_n32" (fun () ->
+        Predictability.Exp_eq4.time ~dispatch:Pipeline.Ooo.Greedy 32
+          Predictability.Exp_eq4.q_primed);
+    stage "TAB1.R1/two_bit_trace" (fun () ->
+        Branchpred.Predictor.run
+          (Branchpred.Predictor.two_bit ~entries:16 ~init:0) branch_fixture);
+    stage "TAB1.R2/superscalar_run" (fun () ->
+        let _, outcome = superscalar_fixture in
+        Pipeline.Superscalar.run
+          { Pipeline.Superscalar.width = 2; regulate = true } ~init:[] outcome);
+    stage "TAB1.R3/smt_priority" (fun () ->
+        let rt, co = smt_fixture in
+        Pipeline.Smt.rt_time Pipeline.Smt.Rt_priority ~rt ~others:[ co ]);
+    stage "TAB1.R4/tdm_link" (fun () ->
+        Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot = 4 })
+          ~clients:4 tdm_fixture);
+    stage "TAB1.R5/interleaved" (fun () ->
+        Pipeline.Interleaved.run ~threads:interleaved_fixture);
+    stage "TAB1.R6/ooo_virtual_traces" (fun () ->
+        let program, outcome = ooo_fixture in
+        Pipeline.Ooo.run_trace
+          (Pipeline.Ooo.trace_config ~virtual_traces:true ~constant_ops:true ())
+          ~init:(0, 0) program outcome);
+    stage "TAB1.R7/ooo_greedy_trace" (fun () ->
+        let program, outcome = ooo_fixture in
+        Pipeline.Ooo.run_trace (Pipeline.Ooo.trace_config ()) ~init:(0, 0)
+          program outcome);
+    stage "TAB2.R1/method_cache_replay" (fun () ->
+        let program, outcome = method_cache_fixture in
+        let cache = ref (Cache.Method_cache.make { blocks = 8; block_size = 8 }) in
+        Array.iter
+          (fun (ev : Isa.Exec.event) ->
+             match ev.Isa.Exec.ins with
+             | Isa.Instr.Call callee ->
+               let size =
+                 match List.assoc_opt callee (Isa.Program.functions program) with
+                 | Some (_, len) -> len
+                 | None -> 1
+               in
+               let _, c = Cache.Method_cache.request !cache ~name:callee ~size in
+               cache := c
+             | _ -> ())
+          outcome.Isa.Exec.trace);
+    stage "TAB2.R2/must_may_stream" (fun () ->
+        let a =
+          ref (Analysis.Must_may.unknown
+                 { Cache.Set_assoc.sets = 4; ways = 2; line = 2;
+                   kind = Cache.Policy.Lru })
+        in
+        List.iter (fun addr -> a := Analysis.Must_may.access !a addr)
+          mustmay_fixture);
+    stage "TAB2.R3/locking_hits" (fun () ->
+        let locking, blocks = locking_fixture in
+        Cache.Locking.hits locking blocks);
+    stage "TAB2.R4/dram_amc" (fun () ->
+        let config, requests = dram_fixture in
+        Dram.Controller.simulate config requests);
+    stage "TAB2.R5/refresh_windows" (fun () ->
+        let config, _ = dram_fixture in
+        Dram.Controller.refresh_windows config ~horizon:100000);
+    stage "TAB2.R6/singlepath_transform" (fun () ->
+        Singlepath.Transform.transform singlepath_fixture);
+    stage "RW.CACHE/evict_lru4" (fun () ->
+        Predictability.Cache_metrics.evict Cache.Policy.Lru ~ways:4 ~max_probes:6);
+    stage "RW.DYN/width_profile" (fun () ->
+        Predictability.Dynamical.width_profile
+          ~f:(Predictability.Dynamical.logistic ~r:4.0) ~x0:0.237 ~delta:1e-4
+          ~steps:16);
+    stage "RW.ANOMALY/delayed_start" (fun () ->
+        Predictability.Exp_eq4.time ~dispatch:Pipeline.Ooo.Greedy 16 (1, 0));
+    stage "ABLATE/wcet_bound" (fun () ->
+        Analysis.Wcet.bound wcet_config Analysis.Wcet.Upper ~shapes:wcet_fixture
+          ~entry:"main");
+    stage "EXT.COMP/interval_bound" (fun () ->
+        Predictability.Composition.sequential_pr
+          [ Predictability.Composition.component ~label:"a" ~bcet:70 ~wcet:124;
+            Predictability.Composition.component ~label:"b" ~bcet:88 ~wcet:142;
+            Predictability.Composition.component ~label:"c" ~bcet:124 ~wcet:152 ]);
+    stage "EXT.EXTENT/profile" (fun () ->
+        Predictability.Extent.profile ~states:[ 0; 1; 2 ] ~inputs:[ 0; 1; 2; 3 ]
+          ~time:(fun q i -> 10 + q + (2 * i))
+          ~cuts:[ ("a", 1, 1); ("b", 2, 2); ("c", 3, 4) ]);
+    stage "EXT.SCHED/fp_hyperperiod" (fun () ->
+        Sched.Fixed_priority.responses
+          [ Sched.Task.make ~name:"hi" ~period:20 ~bcet:2 ~wcet:6 ~priority:0;
+            Sched.Task.make ~name:"mid" ~period:40 ~bcet:4 ~wcet:10 ~priority:1;
+            Sched.Task.make ~name:"victim" ~period:80 ~bcet:9 ~wcet:9 ~priority:2 ]
+          Sched.Task.all_wcet);
+    stage "EXT.BUS/tdm_multicore" (fun () ->
+        let core =
+          List.concat
+            (List.init 8 (fun _ ->
+                 [ Pipeline.Multicore.Compute 2; Pipeline.Multicore.Mem ]))
+        in
+        Pipeline.Multicore.run ~policy:(Pipeline.Multicore.Bus_tdm { slot = 4 })
+          ~service:4 [ core; core; core ]);
+    stage "EXT.BUDGET/bounded_wcet" (fun () ->
+        Analysis.Wcet.bound { wcet_config with Analysis.Wcet.budget = Some 1 }
+          Analysis.Wcet.Upper ~shapes:wcet_fixture ~entry:"main") ]
+
+let run_microbenchmarks () =
+  print_endline "--- Part 2: Bechamel microbenchmarks (ns per run) ---";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.2) ~kde:None
+      ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"predlab" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+       let estimate =
+         match Analyze.OLS.estimates ols_result with
+         | Some (v :: _) -> Printf.sprintf "%12.1f" v
+         | Some [] | None -> "      (n/a)"
+       in
+       Printf.printf "%-40s %s ns/run\n" name estimate)
+    (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+
+let () =
+  print_endline "=== Predlab benchmark harness ===";
+  print_endline "--- Part 1: regenerate every figure and table of the paper ---";
+  print_newline ();
+  print_endline "Survey casting (paper Tables 1 and 2 as template instances):";
+  print_string (Predictability.Survey.render Predictability.Survey.table1);
+  print_string (Predictability.Survey.render Predictability.Survey.table2);
+  print_newline ();
+  let outcomes = Predictability.Experiments.run_all () in
+  List.iter
+    (fun o ->
+       print_string (Predictability.Report.render o);
+       print_newline ())
+    outcomes;
+  let failed =
+    List.filter (fun o -> not (Predictability.Report.all_passed o)) outcomes
+  in
+  Printf.printf "Reproduction summary: %d/%d experiments passed all checks\n\n"
+    (List.length outcomes - List.length failed)
+    (List.length outcomes);
+  run_microbenchmarks ();
+  if failed <> [] then exit 1

@@ -1,0 +1,105 @@
+(* predlab — command-line front end to the predictability laboratory:
+   list/run the experiments that reproduce the paper's figures and tables,
+   and print the survey tables. *)
+
+let list_experiments () =
+  List.iter
+    (fun (id, title, _) -> Printf.printf "%-10s %s\n" id title)
+    Predictability.Experiments.all
+
+let run_one id =
+  match
+    List.find_opt (fun (candidate, _, _) -> candidate = id)
+      Predictability.Experiments.all
+  with
+  | None ->
+    Printf.eprintf "unknown experiment %S; try `predlab list`\n" id;
+    exit 2
+  | Some (_, _, runner) ->
+    let outcome = runner () in
+    print_string (Predictability.Report.render outcome);
+    if not (Predictability.Report.all_passed outcome) then exit 1
+
+let run_all () =
+  let outcomes = Predictability.Experiments.run_all () in
+  List.iter (fun o -> print_string (Predictability.Report.render o); print_newline ()) outcomes;
+  let failed =
+    List.filter (fun o -> not (Predictability.Report.all_passed o)) outcomes
+  in
+  Printf.printf "%d/%d experiments fully passed their checks\n"
+    (List.length outcomes - List.length failed) (List.length outcomes);
+  if failed <> [] then exit 1
+
+let list_workloads () =
+  List.iter
+    (fun (name, make) ->
+       let w = make () in
+       Printf.printf "%-16s %s (%d inputs)\n" name
+         w.Isa.Workload.description
+         (List.length w.Isa.Workload.inputs))
+    Isa.Workload.registry
+
+let show_program name =
+  match List.assoc_opt name Isa.Workload.registry with
+  | None ->
+    Printf.eprintf "unknown workload %S; try `predlab workloads`\n" name;
+    exit 2
+  | Some make ->
+    let w = make () in
+    let program, _ = Isa.Workload.program w in
+    Printf.printf "; %s — %s\n" w.Isa.Workload.name w.Isa.Workload.description;
+    Format.printf "%a@." Isa.Program.pp program;
+    Printf.printf "; %d instructions, %d admissible inputs\n"
+      (Isa.Program.length program)
+      (List.length w.Isa.Workload.inputs)
+
+let survey () =
+  print_endline "Table 1: constructive approaches to predictability (part I)";
+  print_string (Predictability.Survey.render Predictability.Survey.table1);
+  print_newline ();
+  print_endline "Table 2: constructive approaches to predictability (part II)";
+  print_string (Predictability.Survey.render Predictability.Survey.table2)
+
+open Cmdliner
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List all experiments")
+    Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (see `predlab list`)")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its report")
+    Term.(const run_one $ id)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run_all $ const ())
+
+let survey_cmd =
+  Cmd.v (Cmd.info "survey" ~doc:"Print the paper's Tables 1 and 2 as template instances")
+    Term.(const survey $ const ())
+
+let workloads_cmd =
+  Cmd.v (Cmd.info "workloads" ~doc:"List the registered workload programs")
+    Term.(const list_workloads $ const ())
+
+let program_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `predlab workloads`)")
+  in
+  Cmd.v (Cmd.info "program" ~doc:"Disassemble a workload's compiled program")
+    Term.(const show_program $ workload_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "predlab" ~version:"1.0.0"
+       ~doc:"Predictability laboratory: reproduction of Grund, Reineke & \
+             Wilhelm, 'A Template for Predictability Definitions with \
+             Supporting Evidence' (PPES 2011)")
+    [ list_cmd; run_cmd; all_cmd; survey_cmd; workloads_cmd; program_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,50 @@
+(* Cache replacement policies and their inherent predictability:
+
+     dune exec examples/cache_policy_zoo.exe
+
+   Replays an access pattern on every policy, then computes the evict/fill
+   metrics (Reineke et al.) by state-space exploration — the number of
+   distinct accesses any analysis needs before it can bound the cache
+   contents again, an inherent property of the policy. *)
+
+let pattern =
+  (* A loop over five blocks on a 4-way set: thrashes some policies. *)
+  List.concat (List.init 6 (fun _ -> [ 0; 1; 2; 3; 4 ]))
+
+let () =
+  print_endline "Access pattern: (0 1 2 3 4) x 6 on one 4-way set";
+  print_endline "";
+  Printf.printf "%-6s %6s %6s\n" "policy" "hits" "misses";
+  List.iter
+    (fun kind ->
+       let config =
+         { Cache.Set_assoc.sets = 1; ways = 4; line = 1; kind }
+       in
+       let hits, misses, _ =
+         Cache.Set_assoc.access_seq (Cache.Set_assoc.make config) pattern
+       in
+       Printf.printf "%-6s %6d %6d\n" (Cache.Policy.kind_name kind) hits misses)
+    Cache.Policy.all_kinds;
+  print_endline "";
+  print_endline "Inherent predictability metrics (evict / fill horizons):";
+  print_endline "  evict: distinct accesses until any unknown content is surely gone";
+  print_endline "  fill:  distinct accesses until the state is exactly known";
+  print_endline "";
+  Printf.printf "%-6s %6s %6s %6s\n" "policy" "ways" "evict" "fill";
+  List.iter
+    (fun ways ->
+       List.iter
+         (fun kind ->
+            let max_probes = (3 * ways) + 2 in
+            let evict = Predictability.Cache_metrics.evict kind ~ways ~max_probes in
+            let fill = Predictability.Cache_metrics.fill kind ~ways ~max_probes in
+            Printf.printf "%-6s %6d %6s %6s\n"
+              (Cache.Policy.kind_name kind) ways
+              (Predictability.Cache_metrics.estimate_to_string evict)
+              (Predictability.Cache_metrics.estimate_to_string fill))
+         [ Cache.Policy.Lru; Cache.Policy.Fifo; Cache.Policy.Plru;
+           Cache.Policy.Mru ])
+    [ 2; 4 ];
+  print_endline "";
+  print_endline "LRU regains full knowledge fastest — the basis of the paper's";
+  print_endline "recommendation (Wilhelm et al.) to use LRU in time-critical systems."

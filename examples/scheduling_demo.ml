@@ -1,0 +1,44 @@
+(* Static vs dynamic scheduling, the fourth classic predictability
+   intuition from the paper's introduction:
+
+     dune exec examples/scheduling_demo.exe
+
+   Builds a cyclic-executive table for a small task set and contrasts the
+   lowest-priority task's response times with preemptive fixed-priority
+   scheduling, as the other tasks' demands vary. *)
+
+let () =
+  let tasks =
+    [ Sched.Task.make ~name:"sensor" ~period:20 ~bcet:2 ~wcet:6 ~priority:0;
+      Sched.Task.make ~name:"control" ~period:40 ~bcet:4 ~wcet:10 ~priority:1;
+      Sched.Task.make ~name:"logger" ~period:80 ~bcet:9 ~wcet:9 ~priority:2 ]
+  in
+  let table = Sched.Cyclic.build tasks in
+  print_endline "Cyclic executive table (one hyperperiod of 80):";
+  List.iter
+    (fun (w : Sched.Cyclic.window) ->
+       Printf.printf "  t=%3d..%3d  %s (released %d)\n"
+         w.Sched.Cyclic.start
+         (w.Sched.Cyclic.start + w.Sched.Cyclic.task.Sched.Task.wcet)
+         w.Sched.Cyclic.task.Sched.Task.name w.Sched.Cyclic.release)
+    (Sched.Cyclic.windows table);
+  print_newline ();
+  Printf.printf "%-28s %20s %20s\n" "scenario" "logger resp (cyclic)"
+    "logger resp (FP)";
+  List.iter
+    (fun (label, scenario) ->
+       let show responses =
+         String.concat ","
+           (List.map string_of_int (List.assoc "logger" responses))
+       in
+       Printf.printf "%-28s %20s %20s\n" label
+         (show (Sched.Cyclic.responses table scenario))
+         (show (Sched.Fixed_priority.responses tasks scenario)))
+    [ ("others at best case", Sched.Task.all_bcet);
+      ("others at worst case", Sched.Task.all_wcet);
+      ("random demands", Sched.Task.random_demand ~seed:42) ];
+  print_newline ();
+  print_endline "The cyclic executive answers with the same number every time:";
+  print_endline "the logger's response does not depend on what the other tasks";
+  print_endline "do. The preemptive scheduler is faster when the others are";
+  print_endline "light - and that dependence is exactly the predictability cost."

@@ -1,0 +1,45 @@
+(* The single-path transformation, before and after:
+
+     dune exec examples/singlepath_demo.exe
+
+   Shows the structured source of a branchy kernel, its if-converted
+   single-path form, and the effect on per-input execution times. *)
+
+let () =
+  let w = Isa.Workload.clamp () in
+  let sp = Singlepath.Transform.transform w in
+  let show (label : string) (workload : Isa.Workload.t) =
+    Printf.printf "--- %s ---\n" label;
+    List.iter
+      (fun (f : Isa.Ast.func) ->
+         Format.printf "%s:@.%a@." f.Isa.Ast.name Isa.Ast.pp f.Isa.Ast.body)
+      workload.Isa.Workload.funcs
+  in
+  show "original (branching)" w;
+  print_newline ();
+  show "single-path (if-converted)" sp;
+  print_newline ();
+  let machine = Pipeline.Inorder.state () in
+  let program, _ = Isa.Workload.program w in
+  let sp_program, _ = Isa.Workload.program sp in
+  Printf.printf "%-10s %14s %16s %8s\n" "input r1" "time (branchy)" "time (1-path)" "results";
+  List.iter
+    (fun input ->
+       let t = Pipeline.Inorder.time program machine input in
+       let t_sp = Pipeline.Inorder.time sp_program machine input in
+       let r =
+         Isa.Exec.result_reg (Isa.Exec.run program input) Isa.Reg.r1
+       in
+       let r_sp =
+         Isa.Exec.result_reg (Isa.Exec.run sp_program input) Isa.Reg.r1
+       in
+       let arg =
+         match List.assoc_opt Isa.Reg.r1 input.Isa.Exec.regs with
+         | Some v -> v
+         | None -> 0
+       in
+       Printf.printf "%-10d %14d %16d %4d=%d\n" arg t t_sp r r_sp)
+    w.Isa.Workload.inputs;
+  print_endline "";
+  print_endline "After the transformation every input takes the same number of";
+  print_endline "cycles (IIPr = 1): timing no longer leaks the input."

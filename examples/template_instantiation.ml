@@ -1,0 +1,64 @@
+(* Instantiating the predictability template for a NEW property:
+
+     dune exec examples/template_instantiation.exe
+
+   The paper's template is not specific to execution time — any property of
+   execution traces qualifies. This example defines "cache-miss
+   predictability": the property is the number of data-cache misses of a
+   run, the uncertainty sources are the initial cache state and the program
+   input, and the quality measure is the min/max quotient, exactly as in
+   Definition 3 but over a different trace property. *)
+
+let dcache_config =
+  { Cache.Set_assoc.sets = 4; ways = 2; line = 2; kind = Cache.Policy.Lru }
+
+(* The property evaluator: replay a run's data accesses against a concrete
+   cache state and count the misses. (Shifted by +1: the template's quotient
+   needs positive values, and the paper's quality measure is a ratio of the
+   property's extremes.) *)
+let misses_plus_one program cache input =
+  let outcome = Isa.Exec.run program input in
+  let addresses =
+    Array.to_list outcome.Isa.Exec.trace
+    |> List.filter_map (fun (ev : Isa.Exec.event) -> ev.Isa.Exec.addr)
+  in
+  let _, misses, _ = Cache.Set_assoc.access_seq cache addresses in
+  misses + 1
+
+let () =
+  let instance =
+    { Predictability.Template.approach = "cache-miss predictability (this example)";
+      hardware_unit = "data cache";
+      property = "number of data-cache misses of a run";
+      uncertainty = "initial cache state and program input";
+      quality_measure = "min misses / max misses over Q x I";
+      inherence = Predictability.Template.Inherent;
+      experiment = "examples/template_instantiation.ml" }
+  in
+  Format.printf "%a@.@." Predictability.Template.pp_instance instance;
+  let w = Isa.Workload.bubble_sort ~n:5 in
+  let program, _ = Isa.Workload.program w in
+  let universe = Predictability.Harness.data_universe w in
+  let states =
+    Cache.Set_assoc.state_samples dcache_config ~universe ~count:5 ~seed:0xce11
+  in
+  let matrix =
+    Predictability.Quantify.evaluate ~states ~inputs:w.Isa.Workload.inputs
+      ~time:(misses_plus_one program)
+  in
+  let pr = Predictability.Quantify.pr matrix in
+  let sipr = Predictability.Quantify.sipr matrix in
+  let iipr = Predictability.Quantify.iipr matrix in
+  Printf.printf "workload: %s over %d states x %d inputs\n"
+    w.Isa.Workload.name (List.length states) (List.length w.Isa.Workload.inputs);
+  Printf.printf "misses range: [%d, %d] (shifted by +1 in the quotients)\n"
+    (Predictability.Quantify.bcet matrix - 1)
+    (Predictability.Quantify.wcet matrix - 1);
+  Printf.printf "miss-count Pr   = %s\n" (Predictability.Harness.ratio_string pr);
+  Printf.printf "state-induced   = %s\n" (Predictability.Harness.ratio_string sipr);
+  Printf.printf "input-induced   = %s\n" (Predictability.Harness.ratio_string iipr);
+  print_newline ();
+  print_endline "The same quantifiers, joins and monotonicity laws apply to any";
+  print_endline "trace property: the template separates WHAT is predicted from";
+  print_endline "HOW well, and the inherence requirement (exhaustive extremes,";
+  print_endline "not one analysis' output) carries over unchanged."

@@ -1,0 +1,76 @@
+type site_kind = Loop_latch | While_guard | If_branch
+
+type site = {
+  pc : int;
+  kind : site_kind;
+  executions : int;
+  exits : int;
+  backward : bool;
+}
+
+let sites ~shapes ~entry =
+  let found = ref [] in
+  let add site = found := site :: !found in
+  let rec walk visiting mult shape =
+    match shape with
+    | Isa.Ast.SBlock _ -> ()
+    | Isa.Ast.SSeq subs -> List.iter (walk visiting mult) subs
+    | Isa.Ast.SIf { branch = (pc, _); then_; jump = _; else_ } ->
+      add { pc; kind = If_branch; executions = mult; exits = 0; backward = false };
+      walk visiting mult then_;
+      walk visiting mult else_
+    | Isa.Ast.SLoop { count; init = _; body; latch } ->
+      (match List.rev latch with
+       | (pc, Isa.Instr.Br _) :: _ ->
+         add { pc; kind = Loop_latch; executions = mult * count;
+               exits = mult; backward = true }
+       | _ -> ());
+      walk visiting (mult * count) body
+    | Isa.Ast.SWhile { bound; guard = (pc, _); body; back = _ } ->
+      add { pc; kind = While_guard; executions = mult * (bound + 1);
+            exits = mult; backward = false };
+      walk visiting (mult * bound) body
+    | Isa.Ast.SCall { site = _; callee } ->
+      if List.mem callee visiting then
+        raise (Wcet.Unsupported (Printf.sprintf "recursive call to %S" callee));
+      (match List.assoc_opt callee shapes with
+       | None -> raise (Wcet.Unsupported (Printf.sprintf "unknown callee %S" callee))
+       | Some callee_shape -> walk (callee :: visiting) mult callee_shape)
+  in
+  (match List.assoc_opt entry shapes with
+   | None -> raise (Wcet.Unsupported (Printf.sprintf "unknown entry %S" entry))
+   | Some shape -> walk [ entry ] 1 shape);
+  List.rev !found
+
+let predicted_taken scheme site =
+  match scheme with
+  | Branchpred.Predictor.Always_taken -> true
+  | Branchpred.Predictor.Always_not_taken -> false
+  | Branchpred.Predictor.Btfn -> site.backward
+  | Branchpred.Predictor.Per_branch dirs ->
+    (match List.assoc_opt site.pc dirs with Some d -> d | None -> false)
+
+let site_bound scheme site =
+  let taken = predicted_taken scheme site in
+  match site.kind with
+  | Loop_latch ->
+    (* Taken on every iteration except the exit. *)
+    if taken then site.exits else site.executions - site.exits
+  | While_guard ->
+    (* The guard branch exits the loop: taken only at the exit. *)
+    if taken then site.executions - site.exits else site.exits
+  | If_branch ->
+    (* Outcome is data-dependent: a sound static bound must assume the
+       worst outcome on every execution. *)
+    site.executions
+
+let static_bound scheme sites_list =
+  Prelude.Listx.sum (List.map (site_bound scheme) sites_list)
+
+let dynamic_bound sites_list =
+  Prelude.Listx.sum (List.map (fun s -> s.executions) sites_list)
+
+let observed predictor program outcome =
+  let events = Pipeline.Trace_util.branch_events program outcome in
+  let mispredictions, _ = Branchpred.Predictor.run predictor events in
+  mispredictions

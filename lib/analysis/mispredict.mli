@@ -1,0 +1,35 @@
+(** Static misprediction bounds (Bodin-Puaut / Burguière-Rochange, Table 1,
+    row 1).
+
+    For static prediction schemes the structural walk yields a {e guaranteed}
+    bound on mispredictions: loop latches and while guards have known worst
+    outcome patterns, and data-dependent if-branches can at worst mispredict
+    on every execution. For dynamic schemes a sound bound must assume the
+    predictor table can always be in the worst state, which is exactly the
+    analysis-complexity argument for static schemes. *)
+
+type site_kind = Loop_latch | While_guard | If_branch
+
+type site = {
+  pc : int;
+  kind : site_kind;
+  executions : int;  (** worst-case execution count of the branch *)
+  exits : int;       (** executions taking the loop-exit outcome *)
+  backward : bool;
+}
+
+val sites :
+  shapes:(string * Isa.Ast.shape) list -> entry:string -> site list
+(** Branch sites with structural execution counts.
+    @raise Wcet.Unsupported on recursion or unknown callees. *)
+
+val static_bound : Branchpred.Predictor.static_scheme -> site list -> int
+(** Guaranteed upper bound on mispredictions under the given static scheme. *)
+
+val dynamic_bound : site list -> int
+(** Sound bound for any table-based dynamic scheme with unknown initial
+    state: every branch execution may mispredict. *)
+
+val observed :
+  Branchpred.Predictor.t -> Isa.Program.t -> Isa.Exec.outcome -> int
+(** Actual misprediction count of one execution under the given predictor. *)

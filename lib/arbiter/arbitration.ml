@@ -1,0 +1,162 @@
+type policy =
+  | Tdm of { slot : int }
+  | Fcfs
+  | Round_robin
+  | Fixed_priority
+  | Ccsp of { rate_num : int; rate_den : int; burst : int }
+
+let policy_name = function
+  | Tdm { slot } -> Printf.sprintf "TDM(slot=%d)" slot
+  | Fcfs -> "FCFS"
+  | Round_robin -> "RR"
+  | Fixed_priority -> "FP"
+  | Ccsp { rate_num; rate_den; burst } ->
+    Printf.sprintf "CCSP(%d/%d,burst=%d)" rate_num rate_den burst
+
+type request = {
+  client : int;
+  arrival : int;
+  service : int;
+}
+
+type served = {
+  request : request;
+  start : int;
+  finish : int;
+}
+
+let latency s = s.finish - s.request.arrival
+
+(* The simulation advances cycle by cycle. Queues hold requests in arrival
+   order; the grant decision at an idle cycle inspects only requests that
+   have already arrived. *)
+let simulate policy ~clients requests =
+  List.iter
+    (fun r ->
+       if r.service <= 0 then invalid_arg "Arbitration.simulate: service <= 0";
+       if r.client < 0 || r.client >= clients then
+         invalid_arg "Arbitration.simulate: client out of range")
+    requests;
+  let queues = Array.make clients [] in
+  let sorted = List.sort (fun a b -> Stdlib.compare a.arrival b.arrival) requests in
+  List.iter (fun r -> queues.(r.client) <- queues.(r.client) @ [ r ]) sorted;
+  let pending = ref (List.length requests) in
+  let served = ref [] in
+  let rr_pointer = ref 0 in
+  (* CCSP credit accounting, scaled by rate_den to stay integral. *)
+  let credits = Array.make clients 0 in
+  let head_arrived now client =
+    match queues.(client) with
+    | r :: _ when r.arrival <= now -> Some r
+    | _ -> None
+  in
+  let grant now =
+    match policy with
+    | Tdm { slot } ->
+      let owner = (now / slot) mod clients in
+      (* Serve only at the start of an owned slot and only if the request
+         fits in the slot: this is what makes the schedule composable. *)
+      (match head_arrived now owner with
+       | Some r when now mod slot = 0 && r.service <= slot -> Some (owner, r)
+       | Some _ | None -> None)
+    | Fcfs ->
+      let candidates =
+        List.filter_map (fun c -> head_arrived now c)
+          (List.init clients (fun i -> i))
+      in
+      (match List.sort (fun a b -> Stdlib.compare (a.arrival, a.client) (b.arrival, b.client)) candidates with
+       | [] -> None
+       | r :: _ -> Some (r.client, r))
+    | Round_robin ->
+      let rec scan k =
+        if k = clients then None
+        else begin
+          let c = (!rr_pointer + k) mod clients in
+          match head_arrived now c with
+          | Some r -> rr_pointer := (c + 1) mod clients; Some (c, r)
+          | None -> scan (k + 1)
+        end
+      in
+      scan 0
+    | Fixed_priority ->
+      let rec scan c =
+        if c = clients then None
+        else match head_arrived now c with
+          | Some r -> Some (c, r)
+          | None -> scan (c + 1)
+      in
+      scan 0
+    | Ccsp { rate_den; _ } ->
+      let eligible c r = credits.(c) >= r.service * rate_den in
+      let rec scan_eligible c =
+        if c = clients then None
+        else match head_arrived now c with
+          | Some r when eligible c r -> Some (c, r)
+          | Some _ | None -> scan_eligible (c + 1)
+      in
+      (match scan_eligible 0 with
+       | Some g -> Some g
+       | None ->
+         (* Slack: work-conserving service in priority order. *)
+         let rec scan c =
+           if c = clients then None
+           else match head_arrived now c with
+             | Some r -> Some (c, r)
+             | None -> scan (c + 1)
+         in
+         scan 0)
+  in
+  let accrue () =
+    match policy with
+    | Ccsp { rate_num; rate_den; burst } ->
+      Array.iteri
+        (fun c v -> credits.(c) <- Stdlib.min (v + rate_num) (burst * rate_den))
+        credits
+    | Tdm _ | Fcfs | Round_robin | Fixed_priority -> ()
+  in
+  let now = ref 0 in
+  let guard = ref 0 in
+  while !pending > 0 do
+    incr guard;
+    if !guard > 10_000_000 then failwith "Arbitration.simulate: no progress";
+    accrue ();
+    match grant !now with
+    | None -> incr now
+    | Some (c, r) ->
+      (match policy with
+       | Ccsp { rate_den; _ } ->
+         credits.(c) <- Stdlib.max 0 (credits.(c) - (r.service * rate_den))
+       | Tdm _ | Fcfs | Round_robin | Fixed_priority -> ());
+      queues.(c) <- (match queues.(c) with [] -> [] | _ :: rest -> rest);
+      let start = !now in
+      let finish = start + r.service in
+      served := { request = r; start; finish } :: !served;
+      decr pending;
+      (* Credits keep accruing during the busy period. *)
+      (match policy with
+       | Ccsp _ ->
+         let rec tick k = if k > 0 then begin accrue (); tick (k - 1) end in
+         tick (r.service - 1)
+       | Tdm _ | Fcfs | Round_robin | Fixed_priority -> ());
+      now := finish
+  done;
+  List.rev !served
+
+let latency_bound policy ~clients ~service =
+  match policy with
+  | Tdm { slot } ->
+    if service > slot then None
+    else
+      (* Worst alignment: the request arrives just after its slot started;
+         it waits for the remainder of its slot plus everyone else's slots,
+         then is served at its next slot start. *)
+      Some ((clients * slot) + service)
+  | Fcfs -> None
+  | Round_robin ->
+    (* Each other client can be in service or get one turn ahead of us. *)
+    Some ((clients - 1) * service + service + (service - 1))
+  | Fixed_priority -> None
+  | Ccsp { burst; _ } ->
+    (* One blocking request plus the bursts of all higher-priority clients;
+       conservative for the client mix used in the experiments. *)
+    Some ((service - 1) + (clients - 1) * burst + service)

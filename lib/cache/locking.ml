@@ -1,0 +1,24 @@
+type t = {
+  config : Set_assoc.config;
+  locked : int list;  (* block numbers *)
+}
+
+let lock_greedy ~config ~profile =
+  let sorted =
+    List.sort (fun (_, fa) (_, fb) -> Stdlib.compare fb fa) profile
+  in
+  let per_set = Hashtbl.create 16 in
+  let try_lock acc (block, _freq) =
+    let set = block mod config.Set_assoc.sets in
+    let used = match Hashtbl.find_opt per_set set with Some n -> n | None -> 0 in
+    if used < config.Set_assoc.ways then begin
+      Hashtbl.replace per_set set (used + 1);
+      block :: acc
+    end
+    else acc
+  in
+  { config; locked = List.rev (List.fold_left try_lock [] sorted) }
+
+let locked_blocks t = t.locked
+let is_locked t block = List.mem block t.locked
+let hits t blocks = List.length (List.filter (is_locked t) blocks)

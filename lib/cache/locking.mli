@@ -1,0 +1,22 @@
+(** Static cache locking (Puaut-Decotigny): a chosen set of lines is loaded
+    and locked before execution; locked lines always hit, and — crucially for
+    multi-tasking — their hits survive preemption, eliminating both
+    intra-task replacement uncertainty and inter-task interference. *)
+
+type t
+
+val lock_greedy :
+  config:Set_assoc.config -> profile:(int * int) list -> t
+(** [lock_greedy ~config ~profile] locks the most frequently accessed blocks
+    first ([profile] maps block number to access frequency), respecting the
+    per-set capacity of [config] — the low-complexity frequency heuristic of
+    Puaut-Decotigny. *)
+
+val locked_blocks : t -> int list
+
+val hits : t -> int list -> int
+(** Number of accesses in the block trace that hit locked lines. Locked-line
+    hits are guaranteed: they do not depend on the initial cache state or on
+    preemptions. *)
+
+val is_locked : t -> int -> bool

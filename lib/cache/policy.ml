@@ -1,0 +1,264 @@
+type kind = Lru | Fifo | Plru | Mru | Round_robin
+
+let all_kinds = [ Lru; Fifo; Plru; Mru; Round_robin ]
+
+let kind_name = function
+  | Lru -> "LRU"
+  | Fifo -> "FIFO"
+  | Plru -> "PLRU"
+  | Mru -> "MRU"
+  | Round_robin -> "RR"
+
+(* PLRU tree: a node's bit points to the subtree holding the next victim. *)
+type tree =
+  | Leaf of int option
+  | Node of bool * tree * tree
+
+type state =
+  | Slru of int * int list          (* ways, tags MRU-first *)
+  | Sfifo of int * int list         (* ways, tags newest-first *)
+  | Splru of tree
+  | Smru of (int option * bool) list  (* ways in physical order, MRU-bit *)
+  | Srr of int option list * int    (* ways in physical order, next victim *)
+
+let rec build_tree ways =
+  if ways = 1 then Leaf None
+  else Node (false, build_tree (ways / 2), build_tree (ways / 2))
+
+let init kind ~ways =
+  if ways < 1 then invalid_arg "Policy.init: ways must be >= 1";
+  match kind with
+  | Lru -> Slru (ways, [])
+  | Fifo -> Sfifo (ways, [])
+  | Plru ->
+    if ways land (ways - 1) <> 0 || ways > 8 then
+      invalid_arg "Policy.init: PLRU requires ways in {1,2,4,8}"
+    else Splru (build_tree ways)
+  | Mru -> Smru (List.init ways (fun _ -> (None, false)))
+  | Round_robin -> Srr (List.init ways (fun _ -> None), 0)
+
+let rec tree_ways = function
+  | Leaf _ -> 1
+  | Node (_, left, right) -> tree_ways left + tree_ways right
+
+let ways = function
+  | Slru (w, _) | Sfifo (w, _) -> w
+  | Splru t -> tree_ways t
+  | Smru ws -> List.length ws
+  | Srr (ws, _) -> List.length ws
+
+let kind = function
+  | Slru _ -> Lru
+  | Sfifo _ -> Fifo
+  | Splru _ -> Plru
+  | Smru _ -> Mru
+  | Srr _ -> Round_robin
+
+let rec tree_resident tag = function
+  | Leaf (Some t) -> t = tag
+  | Leaf None -> false
+  | Node (_, left, right) -> tree_resident tag left || tree_resident tag right
+
+(* Touch [tag] (known resident): flip bits along its path to point away. *)
+let rec tree_touch tag = function
+  | Leaf _ as leaf -> leaf
+  | Node (bit, left, right) ->
+    if tree_resident tag left then Node (true, tree_touch tag left, right)
+    else if tree_resident tag right then Node (false, left, tree_touch tag right)
+    else Node (bit, left, right)
+
+let rec tree_has_empty = function
+  | Leaf None -> true
+  | Leaf (Some _) -> false
+  | Node (_, left, right) -> tree_has_empty left || tree_has_empty right
+
+(* Fill the leftmost empty leaf with [tag], flipping bits away from it. *)
+let rec tree_fill tag = function
+  | Leaf None -> Leaf (Some tag)
+  | Leaf (Some _) as leaf -> leaf
+  | Node (bit, left, right) ->
+    if tree_has_empty left then Node (true, tree_fill tag left, right)
+    else if tree_has_empty right then Node (false, left, tree_fill tag right)
+    else Node (bit, left, right)
+
+(* Replace the victim designated by the bits, flipping bits away from it. *)
+let rec tree_evict tag = function
+  | Leaf _ -> Leaf (Some tag)
+  | Node (bit, left, right) ->
+    if bit then Node (false, left, tree_evict tag right)
+    else Node (true, tree_evict tag left, right)
+
+let access state tag =
+  match state with
+  | Slru (w, tags) ->
+    let hit = List.mem tag tags in
+    let rest = List.filter (fun t -> t <> tag) tags in
+    let tags' = tag :: Prelude.Listx.take (w - 1) rest in
+    (hit, Slru (w, tags'))
+  | Sfifo (w, tags) ->
+    if List.mem tag tags then (true, state)
+    else (false, Sfifo (w, tag :: Prelude.Listx.take (w - 1) tags))
+  | Splru tree ->
+    if tree_resident tag tree then (true, Splru (tree_touch tag tree))
+    else if tree_has_empty tree then (false, Splru (tree_fill tag tree))
+    else (false, Splru (tree_evict tag tree))
+  | Smru ways_list ->
+    let hit = List.exists (fun (t, _) -> t = Some tag) ways_list in
+    if hit then begin
+      let set_bit = List.map (fun (t, b) -> (t, b || t = Some tag)) ways_list in
+      (* If every bit is now set, clear all but the just-accessed way. *)
+      let all_set = List.for_all snd set_bit in
+      let final =
+        if all_set then List.map (fun (t, _) -> (t, t = Some tag)) set_bit
+        else set_bit
+      in
+      (true, Smru final)
+    end
+    else begin
+      (* Victim: first invalid way, else first way with MRU-bit 0. *)
+      let rec place seen = function
+        | [] ->
+          (* All bits set and no invalid way cannot happen: bits are cleared
+             when the last zero bit would be set. Fall back to replacing the
+             first way. *)
+          (match List.rev seen with
+           | [] -> [ (Some tag, true) ]
+           | _ :: rest -> (Some tag, true) :: rest)
+        | (None, _) :: rest -> List.rev_append seen ((Some tag, true) :: rest)
+        | (Some _, false) :: rest ->
+          List.rev_append seen ((Some tag, true) :: rest)
+        | ((Some _, true) as w) :: rest -> place (w :: seen) rest
+      in
+      let placed = place [] ways_list in
+      let all_set = List.for_all snd placed in
+      let final =
+        if all_set then List.map (fun (t, _) -> (t, t = Some tag)) placed
+        else placed
+      in
+      (false, Smru final)
+    end
+  | Srr (ways_list, next) ->
+    if List.exists (fun t -> t = Some tag) ways_list then (true, state)
+    else begin
+      let ways_arr = Array.of_list ways_list in
+      (* Prefer an invalid way; otherwise replace at the pointer. *)
+      let invalid = ref (-1) in
+      Array.iteri (fun i t -> if t = None && !invalid < 0 then invalid := i)
+        ways_arr;
+      let slot = if !invalid >= 0 then !invalid else next in
+      ways_arr.(slot) <- Some tag;
+      let next' = if !invalid >= 0 then next else (next + 1) mod Array.length ways_arr in
+      (false, Srr (Array.to_list ways_arr, next'))
+    end
+
+let resident state tag =
+  match state with
+  | Slru (_, tags) | Sfifo (_, tags) -> List.mem tag tags
+  | Splru tree -> tree_resident tag tree
+  | Smru ways_list -> List.exists (fun (t, _) -> t = Some tag) ways_list
+  | Srr (ways_list, _) -> List.exists (fun t -> t = Some tag) ways_list
+
+let rec tree_contents = function
+  | Leaf t -> [ t ]
+  | Node (_, left, right) -> tree_contents left @ tree_contents right
+
+let contents state =
+  match state with
+  | Slru (w, tags) | Sfifo (w, tags) ->
+    List.map (fun t -> Some t) tags
+    @ List.init (w - List.length tags) (fun _ -> None)
+  | Splru tree -> tree_contents tree
+  | Smru ways_list -> List.map fst ways_list
+  | Srr (ways_list, _) -> ways_list
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+(* All ways-length sequences of pairwise-distinct blocks. *)
+let rec arrangements ways blocks =
+  if ways = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun b ->
+         let rest = List.filter (fun x -> x <> b) blocks in
+         List.map (fun tail -> b :: tail) (arrangements (ways - 1) rest))
+      blocks
+
+let rec bit_patterns n =
+  if n = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun tail -> [ false :: tail; true :: tail ])
+      (bit_patterns (n - 1))
+
+(* Rebuild a PLRU tree from leaf contents and an explicit bit assignment
+   (pre-order over internal nodes). *)
+let tree_of ways contents bits =
+  let rec build contents bits ways =
+    if ways = 1 then begin
+      match contents with
+      | [ c ] -> (Leaf (Some c), bits)
+      | _ -> assert false
+    end
+    else begin
+      match bits with
+      | [] -> assert false
+      | bit :: bits ->
+        let half = ways / 2 in
+        let rec split k xs =
+          if k = 0 then ([], xs)
+          else match xs with
+            | [] -> assert false
+            | x :: rest -> let l, r = split (k - 1) rest in (x :: l, r)
+        in
+        let left_contents, right_contents = split half contents in
+        let left, bits = build left_contents bits half in
+        let right, bits = build right_contents bits half in
+        (Node (bit, left, right), bits)
+    end
+  in
+  let tree, leftover = build contents bits ways in
+  assert (leftover = []);
+  tree
+
+let enumerate_full_states kind ~ways ~blocks =
+  if ways < 1 then invalid_arg "Policy.enumerate_full_states: ways must be >= 1";
+  let fills = arrangements ways blocks in
+  match kind with
+  | Lru -> List.map (fun tags -> Slru (ways, tags)) fills
+  | Fifo -> List.map (fun tags -> Sfifo (ways, tags)) fills
+  | Plru ->
+    if ways land (ways - 1) <> 0 || ways > 8 then
+      invalid_arg "Policy.enumerate_full_states: PLRU requires ways in {1,2,4,8}";
+    List.concat_map
+      (fun contents ->
+         List.map
+           (fun bits -> Splru (tree_of ways contents bits))
+           (bit_patterns (ways - 1)))
+      fills
+  | Mru ->
+    (* The all-ones bit pattern is transient (it is normalised away on the
+       access that would create it), so exclude it. *)
+    List.concat_map
+      (fun contents ->
+         List.filter_map
+           (fun bits ->
+              if List.for_all (fun b -> b) bits then None
+              else Some (Smru (List.map2 (fun c b -> (Some c, b)) contents bits)))
+           (bit_patterns ways))
+      fills
+  | Round_robin ->
+    List.concat_map
+      (fun contents ->
+         List.init ways (fun p -> Srr (List.map (fun c -> Some c) contents, p)))
+      fills
+
+let pp ppf state =
+  let pp_slot ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some t -> Format.pp_print_int ppf t
+  in
+  Format.fprintf ppf "%s[%a]" (kind_name (kind state))
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       pp_slot)
+    (contents state)

@@ -1,0 +1,39 @@
+(** Replacement policies of one cache set, as persistent state machines.
+
+    Persistence matters: the predictability quantifications (Defs. 3-5) and
+    the evict/fill metrics of Reineke et al. explore the space of reachable
+    set states, which needs cheap state copies and structural equality. *)
+
+type kind = Lru | Fifo | Plru | Mru | Round_robin
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+type state
+
+val init : kind -> ways:int -> state
+(** Empty set. [Plru] requires [ways] in {1, 2, 4, 8}.
+    @raise Invalid_argument on unsupported geometry. *)
+
+val ways : state -> int
+val kind : state -> kind
+
+val access : state -> int -> bool * state
+(** [access s tag] is [(hit, s')]. On a miss the victim chosen by the policy
+    is replaced by [tag]. *)
+
+val resident : state -> int -> bool
+val contents : state -> int option list
+(** Current tags in policy-specific order, padded with [None]. *)
+
+val equal : state -> state -> bool
+val compare : state -> state -> int
+val pp : Format.formatter -> state -> unit
+
+val enumerate_full_states : kind -> ways:int -> blocks:int list -> state list
+(** Every representable state whose ways are all valid and filled with
+    pairwise-distinct blocks drawn from [blocks] (contents, order, and
+    policy metadata — FIFO order, PLRU bits, MRU bits, RR pointer — all
+    enumerated). This is the "completely unknown initial state" space used
+    by the evict/fill metrics of Reineke et al. Sizes grow as
+    [|blocks| P ways * policy-bits]; intended for small geometries. *)

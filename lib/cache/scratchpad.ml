@@ -1,0 +1,9 @@
+type t = { base : int; size : int }
+
+let make ~base ~size =
+  if size < 0 then invalid_arg "Scratchpad.make: negative size";
+  { base; size }
+
+let contains t addr = addr >= t.base && addr < t.base + t.size
+let base t = t.base
+let size t = t.size

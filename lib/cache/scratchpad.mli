@@ -1,0 +1,10 @@
+(** Software-managed scratchpad memory: a statically allocated address range
+    serviced at a fixed latency — the PRET/Whitham alternative to caches.
+    There is no state, hence no state-induced timing variability. *)
+
+type t
+
+val make : base:int -> size:int -> t
+val contains : t -> int -> bool
+val base : t -> int
+val size : t -> int

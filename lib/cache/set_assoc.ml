@@ -1,0 +1,67 @@
+type config = {
+  sets : int;
+  ways : int;
+  line : int;
+  kind : Policy.kind;
+}
+
+type t = {
+  config : config;
+  state : Policy.state array;  (* one per set; copy-on-write *)
+}
+
+let make config =
+  if config.sets < 1 || config.ways < 1 || config.line < 1 then
+    invalid_arg "Set_assoc.make: geometry must be positive";
+  { config;
+    state = Array.init config.sets (fun _ -> Policy.init config.kind ~ways:config.ways) }
+
+let config t = t.config
+let block_of_addr config addr = addr / config.line
+let set_of_addr config addr = block_of_addr config addr mod config.sets
+
+let access t addr =
+  let set = set_of_addr t.config addr in
+  let tag = block_of_addr t.config addr in
+  let hit, state' = Policy.access t.state.(set) tag in
+  let state = Array.copy t.state in
+  state.(set) <- state';
+  (hit, { t with state })
+
+let access_seq t addrs =
+  let step (hits, misses, c) addr =
+    let hit, c' = access c addr in
+    if hit then (hits + 1, misses, c') else (hits, misses + 1, c')
+  in
+  List.fold_left step (0, 0, t) addrs
+
+let resident t addr =
+  let set = set_of_addr t.config addr in
+  Policy.resident t.state.(set) (block_of_addr t.config addr)
+
+let equal a b = a.config = b.config && a.state = b.state
+let compare a b = Stdlib.compare (a.config, a.state) (b.config, b.state)
+
+let warmed config ~seed ~touches ~universe =
+  let rng = Prelude.Rng.make seed in
+  let rec go c n =
+    if n = 0 || universe = [] then c
+    else begin
+      let addr = Prelude.Rng.pick rng universe in
+      let _, c' = access c addr in
+      go c' (n - 1)
+    end
+  in
+  go (make config) touches
+
+let state_samples config ~universe ~count ~seed =
+  let states =
+    List.init count (fun i ->
+        warmed config ~seed:(seed + (i * 7919)) ~touches:(16 + (i * 3)) ~universe)
+  in
+  make config :: states
+
+let pp ppf t =
+  Array.iteri
+    (fun i s -> Format.fprintf ppf "set%d: %a@ " i Policy.pp s)
+    t.state

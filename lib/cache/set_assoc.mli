@@ -1,0 +1,42 @@
+(** Persistent set-associative caches over integer addresses. *)
+
+type config = {
+  sets : int;       (** number of sets (power of two recommended) *)
+  ways : int;       (** associativity *)
+  line : int;       (** line size in address units *)
+  kind : Policy.kind;
+}
+
+type t
+
+val make : config -> t
+(** Empty (cold) cache. @raise Invalid_argument on non-positive geometry. *)
+
+val config : t -> config
+
+val block_of_addr : config -> int -> int
+(** Memory block (line tag) an address falls into. *)
+
+val set_of_addr : config -> int -> int
+
+val access : t -> int -> bool * t
+(** [access c addr] is [(hit, c')]. *)
+
+val access_seq : t -> int list -> int * int * t
+(** Replay an address list; returns [(hits, misses, final_state)]. *)
+
+val resident : t -> int -> bool
+(** Whether the line holding this address is currently cached. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val warmed : config -> seed:int -> touches:int -> universe:int list -> t
+(** A plausible initial state: a cold cache warmed by [touches] random
+    accesses drawn from [universe]. Deterministic in [seed]. *)
+
+val state_samples : config -> universe:int list -> count:int -> seed:int -> t list
+(** [count] distinct warmed states (plus the cold state first), used as the
+    uncertainty set [Q] over initial hardware states. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type estimate =
+  | Exact of int
+  | Beyond of int
+
+let estimate_to_string = function
+  | Exact n -> string_of_int n
+  | Beyond n -> Printf.sprintf ">%d" n
+
+(* Old (unknown) blocks are negative ids, probes positive: by renaming
+   symmetry, [ways] distinct unknown blocks cover every initial content mix,
+   and initial states may already contain some of the probe blocks — the
+   case that makes FIFO need 2k-1 probes rather than k. *)
+let initial_states kind ~ways ~probes =
+  let olds = List.init ways (fun i -> -(i + 1)) in
+  Cache.Policy.enumerate_full_states kind ~ways ~blocks:(olds @ probes)
+
+let final_state state probes =
+  List.fold_left
+    (fun s p ->
+       let _, s' = Cache.Policy.access s p in
+       s')
+    state probes
+
+let olds_all_evicted state ways =
+  let olds = List.init ways (fun i -> -(i + 1)) in
+  not (List.exists (Cache.Policy.resident state) olds)
+
+let search ~check ~ways ~max_probes kind =
+  let rec try_probes j =
+    if j > max_probes then Beyond max_probes
+    else begin
+      let probes = List.init j (fun i -> i + 1) in
+      let states = initial_states kind ~ways ~probes in
+      let finals = List.map (fun s -> final_state s probes) states in
+      if check finals then Exact j else try_probes (j + 1)
+    end
+  in
+  try_probes 1
+
+let evict kind ~ways ~max_probes =
+  let check finals = List.for_all (fun s -> olds_all_evicted s ways) finals in
+  search ~check ~ways ~max_probes kind
+
+let fill kind ~ways ~max_probes =
+  let check = function
+    | [] -> true
+    | first :: rest ->
+      olds_all_evicted first ways
+      && List.for_all (fun s -> Cache.Policy.equal s first) rest
+  in
+  search ~check ~ways ~max_probes kind

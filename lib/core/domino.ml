@@ -1,0 +1,54 @@
+type verdict = {
+  diverges : bool;
+  differences : (int * int) list;
+  per_iteration_rates : (int * int) option;
+  ratio_limit : Prelude.Ratio.t option;
+}
+
+let detect ~time ~q1 ~q2 ~horizon =
+  if horizon < 8 then invalid_arg "Domino.detect: horizon must be >= 8";
+  let ns = Prelude.Listx.range 1 (horizon + 1) in
+  let t1 = List.map (fun n -> time n q1) ns in
+  let t2 = List.map (fun n -> time n q2) ns in
+  let differences = List.map2 (fun a b -> abs (a - b)) t1 t2 in
+  let tail_increasing =
+    let tail = List.filteri (fun i _ -> i >= horizon / 2) differences in
+    let rec strictly_increasing = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    in
+    strictly_increasing tail
+  in
+  (* A sequence is asymptotically linear if the last increments are equal. *)
+  let steady_rate samples =
+    let arr = Array.of_list samples in
+    let len = Array.length arr in
+    if len < 4 then None
+    else begin
+      let d1 = arr.(len - 1) - arr.(len - 2) in
+      let d2 = arr.(len - 2) - arr.(len - 3) in
+      let d3 = arr.(len - 3) - arr.(len - 4) in
+      if d1 = d2 && d2 = d3 then Some d1 else None
+    end
+  in
+  let per_iteration_rates =
+    match steady_rate t1, steady_rate t2 with
+    | Some r1, Some r2 -> Some (r1, r2)
+    | _, _ -> None
+  in
+  let ratio_limit =
+    match per_iteration_rates with
+    | Some (r1, r2) when r1 > 0 && r2 > 0 ->
+      Some (Prelude.Ratio.make (Stdlib.min r1 r2) (Stdlib.max r1 r2))
+    | Some _ | None -> None
+  in
+  let diverges =
+    tail_increasing
+    && (match per_iteration_rates with
+        | Some (r1, r2) -> r1 <> r2
+        | None -> true)
+  in
+  { diverges; differences = List.combine ns differences;
+    per_iteration_rates; ratio_limit }
+
+let eq4_bound ~n = Prelude.Ratio.make ((9 * n) + 1) (12 * n)

@@ -1,0 +1,29 @@
+(** Domino-effect detection (Section 2.2, Lundqvist-Stenström).
+
+    A system exhibits a domino effect if two hardware states make the same
+    program's execution times diverge without bound — the difference grows
+    with the iteration count instead of being absorbed. Given a
+    parameterised timing function [T(n, q)] (time of [n] loop iterations
+    from state [q]), the detector fits the tail growth of
+    [|T(n,q1) - T(n,q2)|]. *)
+
+type verdict = {
+  diverges : bool;
+  differences : (int * int) list;
+      (** [(n, |T(n,q1) - T(n,q2)|)] at the sampled iteration counts *)
+  per_iteration_rates : (int * int) option;
+      (** steady per-iteration costs [(rate1, rate2)] when both executions
+          are asymptotically linear in [n] *)
+  ratio_limit : Prelude.Ratio.t option;
+      (** [lim SIPr = rate_min / rate_max] when linear *)
+}
+
+val detect :
+  time:(int -> 'q -> int) -> q1:'q -> q2:'q -> horizon:int -> verdict
+(** Samples [n = 1 .. horizon]. Divergence is reported when the difference
+    sequence is eventually strictly increasing over the last half of the
+    horizon. @raise Invalid_argument when [horizon < 8]. *)
+
+val eq4_bound : n:int -> Prelude.Ratio.t
+(** The paper's Equation 4: [(9n + 1) / (12n)], the state-induced
+    predictability bound of the PowerPC-755 domino program family. *)

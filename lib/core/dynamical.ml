@@ -1,0 +1,37 @@
+let rotation ~alpha x =
+  let y = x +. alpha in
+  y -. Float.of_int (int_of_float y)
+
+let tent x = if x < 0.5 then 2. *. x else 2. -. (2. *. x)
+
+let logistic ~r x = r *. x *. (1. -. x)
+
+(* Image of an interval under f, by dense sampling: adequate for the smooth
+   or piecewise-linear maps used here. *)
+let image f lo hi =
+  let samples = 256 in
+  let at k = lo +. ((hi -. lo) *. float_of_int k /. float_of_int samples) in
+  let rec scan k (mn, mx) =
+    if k > samples then (mn, mx)
+    else begin
+      let v = f (at k) in
+      scan (k + 1) (Float.min mn v, Float.max mx v)
+    end
+  in
+  scan 0 (infinity, neg_infinity)
+
+let width_profile ~f ~x0 ~delta ~steps =
+  let rec go k lo hi acc =
+    if k = steps then List.rev acc
+    else begin
+      let img_lo, img_hi = image f lo hi in
+      let lo = img_lo -. delta and hi = img_hi +. delta in
+      go (k + 1) lo hi ((hi -. lo) :: acc)
+    end
+  in
+  go 0 (x0 -. delta) (x0 +. delta) []
+
+let predictable ~f ~x0 ~delta ~steps =
+  match List.rev (width_profile ~f ~x0 ~delta ~steps) with
+  | [] -> true
+  | final :: _ -> final <= 2. *. (2. *. delta *. float_of_int (steps + 1))

@@ -1,0 +1,36 @@
+(** Bernardes' predictability of discrete dynamical systems (related work
+    [3]): a system [(X, f)] is predictable at [a] when every δ-shadowing
+    orbit — a sequence allowed to stray up to δ from the true image at each
+    step — remains close to the true orbit.
+
+    Executable rendering: propagate the reachable set of all δ-shadows (an
+    interval for the 1-D maps used here, computed by dense sampling) and
+    observe its width profile. Isometric maps (rotation) accumulate error
+    only additively — width grows linearly in the step count, the
+    predictable regime — while expansive maps (tent, logistic at r = 4)
+    amplify it exponentially. *)
+
+val rotation : alpha:float -> float -> float
+(** Circle rotation on [0, 1): [x + alpha mod 1]. Predictable. *)
+
+val tent : float -> float
+(** Tent map on [0, 1]: expansive, unpredictable. *)
+
+val logistic : r:float -> float -> float
+(** Logistic map [r * x * (1 - x)]; chaotic at [r = 4]. *)
+
+val width_profile :
+  f:(float -> float) -> x0:float -> delta:float -> steps:int -> float list
+(** Width of the reachable δ-shadow set after each step (length [steps]).
+
+    The reachable set is abstracted as a real interval, so a circle-map
+    orbit whose shadow set straddles the wrap point of [0, 1) inflates the
+    width to ~1. The abstraction errs on the sound side (it can only flag a
+    predictable system as unpredictable, never the reverse); pick [x0] and
+    the map parameters so the orbit stays clear of the boundary within the
+    horizon. *)
+
+val predictable :
+  f:(float -> float) -> x0:float -> delta:float -> steps:int -> bool
+(** True when the final width stays within twice the linear accumulation
+    budget [2 * delta * (steps + 1)] — i.e. no exponential amplification. *)

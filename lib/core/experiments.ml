@@ -1,0 +1,39 @@
+let all =
+  [ ("FIG1", "Execution-time distribution with LB/BCET/WCET/UB", Exp_fig1.run);
+    ("EQ4", "Domino effect: 9n+1 vs 12n", Exp_eq4.run);
+    ("TAB1.R1", "WCET-oriented static branch prediction", Exp_branch.run);
+    ("TAB1.R2", "Time-predictable superscalar mode", Exp_superscalar.run);
+    ("TAB1.R3", "Time-predictable SMT", Exp_smt.run);
+    ("TAB1.R4", "CoMPSoC composable interconnect", Exp_compsoc.run);
+    ("TAB1.R5", "PRET thread-interleaved pipeline", Exp_pret.run);
+    ("TAB1.R6", "Virtual traces", Exp_vtraces.run);
+    ("TAB1.R7", "Future architectures: compositional vs conventional",
+     Exp_future.run);
+    ("TAB2.R1", "Method cache", Exp_method_cache.run);
+    ("TAB2.R2", "Split caches", Exp_split_caches.run);
+    ("TAB2.R3", "Static cache locking", Exp_cache_locking.run);
+    ("TAB2.R4", "Predictable DRAM controllers", Exp_dram.run);
+    ("TAB2.R5", "Predictable DRAM refreshes", Exp_refresh.run);
+    ("TAB2.R6", "Single-path paradigm", Exp_singlepath.run);
+    ("RW.CACHE", "Replacement-policy evict/fill metrics", Exp_cache_metrics.run);
+    ("RW.DYN", "Dynamical-system predictability", Exp_dynamical.run);
+    ("RW.ANOMALY", "Timing anomalies (Lundqvist-Stenstrom)", Exp_anomaly.run);
+    ("ABLATE", "Design-choice ablations", Exp_ablations.run);
+    ("EXT.COMP", "Compositional predictability (future work)",
+     Exp_composition.run);
+    ("EXT.EXTENT", "Extent-of-uncertainty refinement", Exp_extent.run);
+    ("EXT.SCHED", "Static vs dynamic preemptive scheduling", Exp_sched.run);
+    ("EXT.BUS", "TDMA vs FCFS bus arbitration", Exp_bus.run);
+    ("EXT.BUDGET", "Analysis-complexity budgets", Exp_budget.run);
+    ("EXT.PIPE", "5-stage pipelining without anomalies", Exp_pipe.run);
+    ("EXT.ATLAS", "Predictability atlas over all workloads", Exp_atlas.run) ]
+
+let ids () = List.map (fun (id, _, _) -> id) all
+
+let run id =
+  let _, _, runner =
+    List.find (fun (candidate, _, _) -> candidate = id) all
+  in
+  runner ()
+
+let run_all () = List.map (fun (_, _, runner) -> runner ()) all

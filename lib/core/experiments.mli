@@ -1,0 +1,12 @@
+(** Registry of every experiment reproducing a figure, equation, table row,
+    or related-work result of the paper. Ids follow DESIGN.md. *)
+
+val all : (string * string * (unit -> Report.outcome)) list
+(** [(id, title, run)] in paper order. *)
+
+val ids : unit -> string list
+
+val run : string -> Report.outcome
+(** @raise Not_found for an unknown id. *)
+
+val run_all : unit -> Report.outcome list

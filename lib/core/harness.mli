@@ -1,0 +1,38 @@
+(** Shared plumbing for the experiment suite: standard cache geometries,
+    uncertainty-set builders, and timing helpers. *)
+
+val icache_config : Cache.Set_assoc.config
+(** 8 sets x 2 ways x 16-byte lines, LRU: the instruction cache used by the
+    in-order experiments. *)
+
+val dcache_config : Cache.Set_assoc.config
+(** 4 sets x 2 ways x 2-word lines, LRU. *)
+
+val icache_hit : int
+val icache_miss : int
+val dcache_hit : int
+val dcache_miss : int
+
+val instruction_universe : Isa.Program.t -> int list
+(** All instruction addresses of a program (for warming instruction
+    caches). *)
+
+val data_universe : Isa.Workload.t -> int list
+(** Data addresses the workload's inputs mention. *)
+
+val inorder_states :
+  ?predictor:Branchpred.Predictor.t -> ?count:int ->
+  Isa.Program.t -> Isa.Workload.t -> Pipeline.Inorder.state list
+(** The uncertainty set [Q] for the in-order machine: cold memory plus
+    [count] warmed cache states (deterministic), all with the given
+    predictor. *)
+
+val inorder_time :
+  Isa.Program.t -> Pipeline.Inorder.state -> Isa.Exec.input -> int
+(** [T_p(q, i)] on the in-order machine. *)
+
+val outcomes : Isa.Program.t -> Isa.Exec.input list -> Isa.Exec.outcome list
+(** Functional executions of all inputs (shared by trace-driven models). *)
+
+val ratio_string : Prelude.Ratio.t -> string
+(** e.g. "3/4 (0.750)". *)

@@ -1,0 +1,18 @@
+type timing_summary = {
+  lb : int;
+  bcet : int;
+  wcet : int;
+  ub : int;
+}
+
+let well_ordered t = t.lb <= t.bcet && t.bcet <= t.wcet && t.wcet <= t.ub
+let state_input_variance t = t.wcet - t.bcet
+let abstraction_variance t = (t.ub - t.wcet) + (t.bcet - t.lb)
+
+let thiele_wilhelm_overestimation t = Prelude.Ratio.make t.wcet t.ub
+
+let kirner_puschner ~pr t =
+  Prelude.Ratio.min pr (thiele_wilhelm_overestimation t)
+
+let pp ppf t =
+  Format.fprintf ppf "LB=%d <= BCET=%d <= WCET=%d <= UB=%d" t.lb t.bcet t.wcet t.ub

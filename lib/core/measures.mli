@@ -1,0 +1,29 @@
+(** Quality measures relating exhaustive ground truth to analysis bounds —
+    the quantities drawn in Figure 1 and the related-work measures the paper
+    discusses (Thiele-Wilhelm, Kirner-Puschner). *)
+
+type timing_summary = {
+  lb : int;    (** sound lower bound computed by analysis *)
+  bcet : int;  (** exhaustive best case over the explored [Q * I] *)
+  wcet : int;  (** exhaustive worst case *)
+  ub : int;    (** sound upper bound computed by analysis *)
+}
+
+val well_ordered : timing_summary -> bool
+(** [lb <= bcet <= wcet <= ub] — the soundness invariant of Figure 1. *)
+
+val state_input_variance : timing_summary -> int
+(** [wcet - bcet]: the paper's "input- and state-induced variance". *)
+
+val abstraction_variance : timing_summary -> int
+(** [(ub - wcet) + (bcet - lb)]: the additional, analysis-induced margin. *)
+
+val thiele_wilhelm_overestimation : timing_summary -> Prelude.Ratio.t
+(** Thiele-Wilhelm measure of timing predictability on the worst-case side:
+    [wcet / ub] (1 = analysis is exact). *)
+
+val kirner_puschner : pr:Prelude.Ratio.t -> timing_summary -> Prelude.Ratio.t
+(** The "holistic" combination: the minimum of inherent timing
+    predictability (Eq. 1) and worst-case analysability ([wcet/ub]). *)
+
+val pp : Format.formatter -> timing_summary -> unit

@@ -1,0 +1,53 @@
+type matrix = int array array  (* indexed [state][input] *)
+
+let evaluate ~states ~inputs ~time =
+  if states = [] then invalid_arg "Quantify.evaluate: empty state set";
+  if inputs = [] then invalid_arg "Quantify.evaluate: empty input set";
+  let inputs = Array.of_list inputs in
+  let row q =
+    Array.map
+      (fun i ->
+         let t = time q i in
+         if t <= 0 then
+           invalid_arg "Quantify.evaluate: execution times must be positive";
+         t)
+      inputs
+  in
+  Array.of_list (List.map row states)
+
+let fold_matrix f init m =
+  Array.fold_left (fun acc row -> Array.fold_left f acc row) init m
+
+let min_all m = fold_matrix Stdlib.min max_int m
+let max_all m = fold_matrix Stdlib.max 0 m
+
+let pr m = Prelude.Ratio.make (min_all m) (max_all m)
+
+let column m j = Array.map (fun row -> row.(j)) m
+
+let ratio_of_extremes values =
+  let mn = Array.fold_left Stdlib.min max_int values in
+  let mx = Array.fold_left Stdlib.max 0 values in
+  Prelude.Ratio.make mn mx
+
+let sipr m =
+  match m with
+  | [||] -> invalid_arg "Quantify.sipr: empty matrix"
+  | _ ->
+    let input_count = Array.length m.(0) in
+    let per_input = List.init input_count (fun j -> ratio_of_extremes (column m j)) in
+    List.fold_left Prelude.Ratio.min Prelude.Ratio.one per_input
+
+let iipr m =
+  let per_state = Array.to_list (Array.map ratio_of_extremes m) in
+  List.fold_left Prelude.Ratio.min Prelude.Ratio.one per_state
+
+let bcet = min_all
+let wcet = max_all
+
+let times m =
+  List.concat_map Array.to_list (Array.to_list m)
+
+let predictability ~states ~inputs ~time =
+  let m = evaluate ~states ~inputs ~time in
+  (pr m, sipr m, iipr m)

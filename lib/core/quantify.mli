@@ -1,0 +1,43 @@
+(** The paper's timing-predictability quantities (Definitions 2-5), computed
+    exhaustively over finite uncertainty sets.
+
+    Given a timing function [T_p(q, i)] (Def. 2), a set [Q] of initial
+    hardware states and a set [I] of admissible inputs:
+
+    - [Pr_p(Q, I)  = min_{q1,q2 in Q} min_{i1,i2 in I} T(q1,i1) / T(q2,i2)]
+      (Def. 3) — overall timing predictability, in (0, 1], where 1 is
+      perfectly predictable;
+    - [SIPr] (Def. 4) fixes the input and varies only the state: the
+      hardware's contribution to unpredictability;
+    - [IIPr] (Def. 5) fixes the state and varies only the input: the
+      software's contribution.
+
+    All quotients are exact rationals. Execution times must be positive. *)
+
+type matrix
+(** Evaluated timing matrix over [Q * I] (each [T(q, i)] computed once). *)
+
+val evaluate : states:'q list -> inputs:'i list -> time:('q -> 'i -> int) -> matrix
+(** @raise Invalid_argument on empty [states]/[inputs] or a non-positive
+    execution time. *)
+
+val pr : matrix -> Prelude.Ratio.t
+(** Def. 3. *)
+
+val sipr : matrix -> Prelude.Ratio.t
+(** Def. 4: [min_i (min_q T(q,i) / max_q T(q,i))]. *)
+
+val iipr : matrix -> Prelude.Ratio.t
+(** Def. 5: [min_q (min_i T(q,i) / max_i T(q,i))]. *)
+
+val bcet : matrix -> int
+(** Exhaustive best case over [Q * I] — ground truth for Figure 1. *)
+
+val wcet : matrix -> int
+val times : matrix -> int list
+(** All observed execution times (row-major), e.g. for histograms. *)
+
+val predictability :
+  states:'q list -> inputs:'i list -> time:('q -> 'i -> int) ->
+  Prelude.Ratio.t * Prelude.Ratio.t * Prelude.Ratio.t
+(** [(pr, sipr, iipr)] in one evaluation. *)

@@ -1,0 +1,30 @@
+type check = {
+  label : string;
+  passed : bool;
+}
+
+type outcome = {
+  id : string;
+  title : string;
+  body : string;
+  checks : check list;
+}
+
+let check label passed = { label; passed }
+
+let all_passed outcome = List.for_all (fun c -> c.passed) outcome.checks
+
+let render outcome =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "=== %s: %s ===\n" outcome.id outcome.title);
+  Buffer.add_string buf outcome.body;
+  if outcome.body <> "" && not (String.length outcome.body > 0 &&
+                                outcome.body.[String.length outcome.body - 1] = '\n')
+  then Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+       Buffer.add_string buf
+         (Printf.sprintf "  [%s] %s\n" (if c.passed then "PASS" else "FAIL") c.label))
+    outcome.checks;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Experiment outcomes: a rendered result body plus the machine-checked
+    assertions ("who wins, by roughly what factor") that define successful
+    reproduction of each figure/table row. *)
+
+type check = {
+  label : string;
+  passed : bool;
+}
+
+type outcome = {
+  id : string;       (** experiment id from DESIGN.md (e.g. "TAB1.R3") *)
+  title : string;
+  body : string;     (** rendered tables / series / histograms *)
+  checks : check list;
+}
+
+val check : string -> bool -> check
+val all_passed : outcome -> bool
+val render : outcome -> string

@@ -1,0 +1,129 @@
+let instance ~approach ~hardware_unit ~property ~uncertainty ~quality_measure
+    ~inherence ~experiment =
+  { Template.approach; hardware_unit; property; uncertainty; quality_measure;
+    inherence; experiment }
+
+let table1 =
+  [ instance
+      ~approach:"WCET-oriented static branch prediction [5,6]"
+      ~hardware_unit:"Branch predictor"
+      ~property:"Number of branch mispredictions"
+      ~uncertainty:"Analysis imprecision (uncertainty about initial predictor state)"
+      ~quality_measure:"Statically computed bound (variability in mispredictions)"
+      ~inherence:(Template.Analysis_bound "bound computed by structural analysis")
+      ~experiment:"TAB1.R1";
+    instance
+      ~approach:"Time-predictable execution mode for superscalar pipelines [21]"
+      ~hardware_unit:"Superscalar out-of-order pipeline"
+      ~property:"Execution time of basic blocks"
+      ~uncertainty:"Analysis imprecision (pipeline state at basic-block boundaries)"
+      ~quality_measure:"Qualitative: analysis practically feasible (variability in BB times)"
+      ~inherence:(Template.Analysis_bound "state count a WCET analysis must track")
+      ~experiment:"TAB1.R2";
+    instance
+      ~approach:"Time-predictable simultaneous multithreading [2,16]"
+      ~hardware_unit:"SMT processor"
+      ~property:"Execution time of tasks in real-time thread"
+      ~uncertainty:"Execution context: tasks in non-real-time threads"
+      ~quality_measure:"Variability in execution times"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB1.R3";
+    instance
+      ~approach:"CoMPSoC: composable and predictable MPSoC [9]"
+      ~hardware_unit:"SoC: NoC, VLIW cores, SRAM"
+      ~property:"Memory access and communication latency"
+      ~uncertainty:"Concurrent execution of unknown other applications"
+      ~quality_measure:"Variability in latencies"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB1.R4";
+    instance
+      ~approach:"Precision-Timed (PRET) architectures [13]"
+      ~hardware_unit:"Thread-interleaved pipeline + scratchpads"
+      ~property:"Execution time"
+      ~uncertainty:"Initial state and execution context"
+      ~quality_measure:"Variability in execution times"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB1.R5";
+    instance
+      ~approach:"Predictable out-of-order execution using virtual traces [28]"
+      ~hardware_unit:"Superscalar OoO pipeline + scratchpads"
+      ~property:"Execution time of program paths"
+      ~uncertainty:"Cache/predictor state, inputs of variable-latency instructions"
+      ~quality_measure:"Variability in execution times"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB1.R6";
+    instance
+      ~approach:"Memory hierarchies, pipelines, buses for future architectures [29]"
+      ~hardware_unit:"Pipeline, memory hierarchy, buses"
+      ~property:"Execution time, memory/bus latencies"
+      ~uncertainty:"Pipeline state, cache state, concurrent applications"
+      ~quality_measure:"Variability in execution times and access latencies"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB1.R7" ]
+
+let table2 =
+  [ instance
+      ~approach:"Method cache [23,15]"
+      ~hardware_unit:"Memory hierarchy"
+      ~property:"Memory access time"
+      ~uncertainty:"(Uncertainty about initial cache state)"
+      ~quality_measure:"Simplicity of analysis"
+      ~inherence:(Template.Analysis_bound "analysis state count / miss-site count")
+      ~experiment:"TAB2.R1";
+    instance
+      ~approach:"Split caches [24]"
+      ~hardware_unit:"Memory hierarchy"
+      ~property:"Number of data cache hits"
+      ~uncertainty:"Addresses of data accesses (heap), among others"
+      ~quality_measure:"(Percentage of accesses statically classified)"
+      ~inherence:(Template.Analysis_bound "must-analysis classification rate")
+      ~experiment:"TAB2.R2";
+    instance
+      ~approach:"Static cache locking [18]"
+      ~hardware_unit:"Memory hierarchy"
+      ~property:"Number of instruction cache hits"
+      ~uncertainty:"Initial cache state and preempting tasks"
+      ~quality_measure:"Statically computed bound (variability in hits)"
+      ~inherence:(Template.Analysis_bound "guaranteed-hit bound")
+      ~experiment:"TAB2.R3";
+    instance
+      ~approach:"Predictable DRAM controllers (Predator, AMC) [1,17]"
+      ~hardware_unit:"DRAM controller in multi-core"
+      ~property:"Latency of DRAM accesses"
+      ~uncertainty:"Refreshes and interference from co-running applications"
+      ~quality_measure:"Existence and size of bound on access latency"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB2.R4";
+    instance
+      ~approach:"Predictable DRAM refreshes [4]"
+      ~hardware_unit:"DRAM controller"
+      ~property:"Latency of DRAM accesses"
+      ~uncertainty:"Occurrence of refreshes"
+      ~quality_measure:"Variability in latencies"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB2.R5";
+    instance
+      ~approach:"Single-path paradigm [19]"
+      ~hardware_unit:"Software-based"
+      ~property:"Execution time"
+      ~uncertainty:"Program inputs"
+      ~quality_measure:"Variability in execution times"
+      ~inherence:Template.Inherent
+      ~experiment:"TAB2.R6" ]
+
+let all = table1 @ table2
+
+let render instances =
+  let table =
+    Prelude.Table.make
+      ~header:[ "Approach"; "Hardware unit(s)"; "Property";
+                "Source of uncertainty"; "Quality measure"; "Experiment" ]
+  in
+  List.iter
+    (fun i ->
+       Prelude.Table.add_row table
+         [ i.Template.approach; i.Template.hardware_unit; i.Template.property;
+           i.Template.uncertainty; i.Template.quality_measure;
+           i.Template.experiment ])
+    instances;
+  Prelude.Table.render table

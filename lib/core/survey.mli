@@ -1,0 +1,17 @@
+(** Tables 1 and 2 of the paper: thirteen constructive approaches to
+    predictability, cast as instances of the template, each linked to the
+    executable experiment that reproduces its claim in this repository. *)
+
+val table1 : Template.instance list
+(** Part I (Table 1): branch prediction, pipelines, multithreading, and the
+    comprehensive architectures. *)
+
+val table2 : Template.instance list
+(** Part II (Table 2): memory hierarchy, DRAM, and the single-path
+    paradigm. *)
+
+val all : Template.instance list
+
+val render : Template.instance list -> string
+(** Paper-shaped text table (approach / unit / property / uncertainty /
+    quality / experiment). *)

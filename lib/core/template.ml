@@ -1,0 +1,47 @@
+type inherence =
+  | Inherent
+  | Analysis_bound of string
+
+type quality =
+  | Variability of Prelude.Ratio.t
+  | Bound_tightness of { observed : int; bound : int }
+  | Fraction_classified of float
+  | Boundedness of { bound : int option }
+  | Qualitative of string
+
+let quality_to_string = function
+  | Variability r -> Printf.sprintf "variability %s" (Prelude.Ratio.to_string r)
+  | Bound_tightness { observed; bound } ->
+    Printf.sprintf "observed %d <= bound %d" observed bound
+  | Fraction_classified f -> Printf.sprintf "%.1f%% classified" (100. *. f)
+  | Boundedness { bound = Some b } -> Printf.sprintf "bounded by %d" b
+  | Boundedness { bound = None } -> "unbounded"
+  | Qualitative s -> s
+
+let quality_score = function
+  | Variability r -> Some (Prelude.Ratio.to_float r)
+  | Bound_tightness { observed; bound } ->
+    if bound = 0 then None else Some (float_of_int observed /. float_of_int bound)
+  | Fraction_classified f -> Some f
+  | Boundedness { bound = Some _ } -> Some 1.
+  | Boundedness { bound = None } -> Some 0.
+  | Qualitative _ -> None
+
+type instance = {
+  approach : string;
+  hardware_unit : string;
+  property : string;
+  uncertainty : string;
+  quality_measure : string;
+  inherence : inherence;
+  experiment : string;
+}
+
+let pp_instance ppf t =
+  Format.fprintf ppf
+    "@[<v 2>%s@ unit: %s@ property: %s@ uncertainty: %s@ quality: %s%s@ experiment: %s@]"
+    t.approach t.hardware_unit t.property t.uncertainty t.quality_measure
+    (match t.inherence with
+     | Inherent -> " (inherent)"
+     | Analysis_bound a -> Printf.sprintf " (analysis-bound: %s)" a)
+    t.experiment

@@ -1,0 +1,52 @@
+(** The paper's contribution: a template for predictability definitions.
+
+    A predictability instance names (Section 2.1):
+    - the {e property} to be predicted,
+    - the {e sources of uncertainty} that limit the prediction, and
+    - the {e quality measure} grading how well the property can be predicted,
+
+    subject to the {e inherence} requirement: the measure must be defined by
+    the system itself (optimal-analysis semantics), not by what one
+    particular analysis happens to compute. Measures carry an explicit
+    inherence tag so the casting of the surveyed approaches (Tables 1-2) can
+    record where a published quality measure is analysis-bound rather than
+    inherent. *)
+
+type inherence =
+  | Inherent
+      (** defined by quantification over the system's behaviours (e.g.
+          Defs. 3-5: exhaustive BCET/WCET ratios) *)
+  | Analysis_bound of string
+      (** defined via some analysis' result (e.g. "bound computed by static
+          analysis X") — useful in practice, but an upper bound on the
+          system's inherent predictability, not the thing itself *)
+
+type quality =
+  | Variability of Prelude.Ratio.t
+      (** a [min/max] timing quotient in (0, 1]; 1 = no variability *)
+  | Bound_tightness of { observed : int; bound : int }
+      (** observed worst value vs statically guaranteed bound *)
+  | Fraction_classified of float
+      (** share of accesses/branches a sound analysis classifies exactly *)
+  | Boundedness of { bound : int option }
+      (** existence (and value) of a context-independent bound *)
+  | Qualitative of string
+
+val quality_to_string : quality -> string
+
+val quality_score : quality -> float option
+(** Uniform [0, 1] rendering where meaningful: variability as a float,
+    tightness as observed/bound, fractions as themselves, boundedness as
+    1/0. [None] for qualitative entries. *)
+
+type instance = {
+  approach : string;        (** the effort, e.g. "Method cache [23,15]" *)
+  hardware_unit : string;   (** Tables 1-2, column 2 *)
+  property : string;        (** column 3 *)
+  uncertainty : string;     (** column 4 *)
+  quality_measure : string; (** column 5, the paper's wording *)
+  inherence : inherence;
+  experiment : string;      (** id of the experiment reproducing the row *)
+}
+
+val pp_instance : Format.formatter -> instance -> unit

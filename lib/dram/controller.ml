@@ -1,0 +1,211 @@
+type policy =
+  | Open_page_fcfs
+  | Predator of { burst : int }
+  | Amc
+
+let policy_name = function
+  | Open_page_fcfs -> "open-page FCFS"
+  | Predator { burst } -> Printf.sprintf "Predator(CCSP,burst=%d)" burst
+  | Amc -> "AMC(TDM)"
+
+type refresh =
+  | Distributed
+  | Burst of { group : int }
+
+type config = {
+  timing : Timing.t;
+  policy : policy;
+  refresh : refresh;
+  refresh_phase : int;
+  clients : int;
+}
+
+let refresh_period config =
+  match config.refresh with
+  | Distributed -> config.timing.t_refi
+  | Burst { group } -> group * config.timing.t_refi
+
+let refresh_length config =
+  match config.refresh with
+  | Distributed -> config.timing.t_rfc
+  | Burst { group } -> group * config.timing.t_rfc
+
+let refresh_windows config ~horizon =
+  let period = refresh_period config in
+  let length = refresh_length config in
+  let rec go k acc =
+    let start = config.refresh_phase + (k * period) in
+    if start > horizon then List.rev acc
+    else go (k + 1) ((start, length) :: acc)
+  in
+  go 1 []
+
+type request = {
+  client : int;
+  arrival : int;
+  bank : int;
+  row : int;
+}
+
+type served = {
+  request : request;
+  start : int;
+  finish : int;
+  row_hit : bool;
+  refresh_stall : int;
+}
+
+let latency s = s.finish - s.request.arrival
+
+let simulate config requests =
+  let t = config.timing in
+  List.iter
+    (fun r ->
+       if r.bank < 0 || r.bank >= t.banks then
+         invalid_arg "Controller.simulate: bank out of range";
+       if r.client < 0 || r.client >= config.clients then
+         invalid_arg "Controller.simulate: client out of range")
+    requests;
+  let queues = Array.make config.clients [] in
+  let sorted =
+    List.sort (fun a b -> Stdlib.compare a.arrival b.arrival) requests
+  in
+  List.iter (fun r -> queues.(r.client) <- queues.(r.client) @ [ r ]) sorted;
+  let pending = ref (List.length requests) in
+  let open_rows = Array.make t.banks None in
+  let service_fixed = Timing.close_page_service t in
+  let served = ref [] in
+  let refresh_intervals = ref [] in  (* (start, finish), newest first *)
+  (* CCSP credits, scaled integers: accrual handled in whole-request grains
+     since every close-page service is the same length. *)
+  let credits = Array.make config.clients 0 in
+  let head_arrived now client =
+    match queues.(client) with
+    | r :: _ when r.arrival <= now -> Some r
+    | _ -> None
+  in
+  let next_refresh_due = ref (config.refresh_phase + refresh_period config) in
+  let refresh_len = refresh_length config in
+  let run_refresh now =
+    let finish = now + refresh_len in
+    refresh_intervals := (now, finish) :: !refresh_intervals;
+    (* A refresh closes all rows. *)
+    Array.fill open_rows 0 t.banks None;
+    next_refresh_due := !next_refresh_due + refresh_period config;
+    finish
+  in
+  let grant now =
+    match config.policy with
+    | Open_page_fcfs ->
+      let candidates =
+        List.filter_map (fun c -> head_arrived now c)
+          (List.init config.clients (fun i -> i))
+      in
+      (match
+         List.sort
+           (fun a b -> Stdlib.compare (a.arrival, a.client) (b.arrival, b.client))
+           candidates
+       with
+       | [] -> None
+       | r :: _ -> Some r)
+    | Predator { burst } ->
+      let eligible c = credits.(c) >= 1 in
+      let rec scan_eligible c =
+        if c = config.clients then None
+        else
+          match head_arrived now c with
+          | Some r when eligible c -> Some r
+          | Some _ | None -> scan_eligible (c + 1)
+      in
+      let pickup =
+        match scan_eligible 0 with
+        | Some r -> Some r
+        | None ->
+          let rec scan c =
+            if c = config.clients then None
+            else match head_arrived now c with
+              | Some r -> Some r
+              | None -> scan (c + 1)
+          in
+          scan 0
+      in
+      (match pickup with
+       | Some r ->
+         credits.(r.client) <- Stdlib.max 0 (credits.(r.client) - 1);
+         (* Everyone else accrues one credit per served request, capped. *)
+         Array.iteri
+           (fun c v -> if c <> r.client then credits.(c) <- Stdlib.min burst (v + 1))
+           credits;
+         Some r
+       | None -> None)
+    | Amc ->
+      let slot = service_fixed in
+      let owner = (now / slot) mod config.clients in
+      (match head_arrived now owner with
+       | Some r when now mod slot = 0 -> Some r
+       | Some _ | None -> None)
+  in
+  let service_time r =
+    match config.policy with
+    | Open_page_fcfs ->
+      (match open_rows.(r.bank) with
+       | Some row when row = r.row -> (true, t.t_cl)
+       | Some _ -> (false, t.t_rp + t.t_rcd + t.t_cl)
+       | None -> (false, t.t_rcd + t.t_cl))
+    | Predator _ | Amc -> (false, service_fixed)
+  in
+  let now = ref 0 in
+  let guard = ref 0 in
+  while !pending > 0 do
+    incr guard;
+    if !guard > 50_000_000 then failwith "Controller.simulate: no progress";
+    if !now >= !next_refresh_due then now := run_refresh !now
+    else
+      match grant !now with
+      | None -> incr now
+      | Some r ->
+        queues.(r.client) <-
+          (match queues.(r.client) with [] -> [] | _ :: rest -> rest);
+        let row_hit, dur = service_time r in
+        (match config.policy with
+         | Open_page_fcfs -> open_rows.(r.bank) <- Some r.row
+         | Predator _ | Amc -> ());
+        let start = !now in
+        let finish = start + dur in
+        let stall =
+          let overlap (a, b) =
+            Stdlib.max 0 (Stdlib.min b start - Stdlib.max a r.arrival)
+          in
+          Prelude.Listx.sum (List.map overlap !refresh_intervals)
+        in
+        served := { request = r; start; finish; row_hit; refresh_stall = stall }
+                  :: !served;
+        decr pending;
+        now := finish
+  done;
+  List.rev !served
+
+let latency_bound config =
+  let t = config.timing in
+  let s = Timing.close_page_service t in
+  let refresh_term =
+    match config.refresh with
+    | Distributed -> t.t_rfc
+    | Burst _ -> 0  (* accounted as a periodic task, not per access *)
+  in
+  match config.policy with
+  | Open_page_fcfs -> None
+  | Predator { burst } ->
+    (* Blocking of one in-service request + accumulated credit bursts of the
+       other clients + own service. *)
+    Some ((s - 1) + ((config.clients - 1) * burst * s) + s + refresh_term)
+  | Amc ->
+    (* Full TDM round (worst alignment) + own slot; a distributed refresh
+       can additionally straddle the client's slot, costing the refresh
+       itself plus one more full round of realignment. *)
+    let refresh_realign =
+      match config.refresh with
+      | Distributed -> config.clients * s
+      | Burst _ -> 0
+    in
+    Some ((config.clients * s) + s + refresh_term + refresh_realign)

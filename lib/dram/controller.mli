@@ -1,0 +1,65 @@
+(** DRAM controllers: a conventional open-page FCFS controller (latency
+    depends on row states, arrival interleavings and refresh collisions) vs
+    the predictable controllers of Table 2: Predator (close-page + CCSP
+    arbitration) and AMC (close-page + TDM), plus the Bhat-Mueller burst
+    refresh scheme. *)
+
+type policy =
+  | Open_page_fcfs
+  | Predator of { burst : int }
+      (** CCSP arbitration: client index = priority, [burst] caps the credit
+          a client can accumulate (in requests). *)
+  | Amc
+      (** TDM arbitration, one close-page slot per client. *)
+
+val policy_name : policy -> string
+
+type refresh =
+  | Distributed  (** one refresh every [t_refi], pre-empting at due time *)
+  | Burst of { group : int }
+      (** defer [group] refreshes and execute them back-to-back — the
+          refresh burst can then be modelled as a periodic task and accounted
+          for in schedulability analysis instead of perturbing every access *)
+
+type config = {
+  timing : Timing.t;
+  policy : policy;
+  refresh : refresh;
+  refresh_phase : int;
+      (** offset of the refresh schedule: refreshes are due at
+          [refresh_phase + k * period]. For distributed refresh the phase is
+          hardware-internal and unknown to analysis — a source of
+          uncertainty; for burst refresh it is software-chosen and known. *)
+  clients : int;
+}
+
+val refresh_windows : config -> horizon:int -> (int * int) list
+(** The statically known refresh windows [(start, length)] up to [horizon]
+    (for scheduling request streams around burst refreshes). *)
+
+type request = {
+  client : int;
+  arrival : int;
+  bank : int;
+  row : int;
+}
+
+type served = {
+  request : request;
+  start : int;
+  finish : int;
+  row_hit : bool;
+  refresh_stall : int;  (** cycles this request waited behind refreshes *)
+}
+
+val latency : served -> int
+
+val simulate : config -> request list -> served list
+(** @raise Invalid_argument on bank/client out of range. *)
+
+val latency_bound : config -> int option
+(** Per-request worst-case latency bound for a client with at most one
+    outstanding request, independent of other clients (includes worst-case
+    refresh blocking). [None] for the FCFS controller. With [Burst] refresh
+    the bound excludes the refresh window — the window is accounted for as a
+    periodic task by schedulability analysis instead. *)

@@ -1,0 +1,13 @@
+type t = {
+  banks : int;
+  t_rcd : int;
+  t_cl : int;
+  t_rp : int;
+  t_rfc : int;
+  t_refi : int;
+}
+
+let default =
+  { banks = 4; t_rcd = 4; t_cl = 4; t_rp = 4; t_rfc = 32; t_refi = 780 }
+
+let close_page_service t = t.t_rcd + t.t_cl + t.t_rp

@@ -1,0 +1,18 @@
+(** SDRAM device timing parameters (in controller clock cycles). *)
+
+type t = {
+  banks : int;
+  t_rcd : int;   (** activate (row open) to column command *)
+  t_cl : int;    (** column command to data *)
+  t_rp : int;    (** precharge (row close) *)
+  t_rfc : int;   (** refresh cycle time (device blocked) *)
+  t_refi : int;  (** average refresh interval *)
+}
+
+val default : t
+(** DDR2-ish proportions: 4 banks, tRCD 4, tCL 4, tRP 4, tRFC 32, tREFI 780. *)
+
+val close_page_service : t -> int
+(** Fixed per-access service time of a close-page (auto-precharge) controller:
+    [t_rcd + t_cl + t_rp]. Making every access take this worst-case-but-
+    constant time is how Predator/AMC trade bandwidth for predictability. *)

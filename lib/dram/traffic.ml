@@ -1,0 +1,23 @@
+let streaming ~client ~banks ~count ~period start =
+  List.init count (fun i ->
+      { Controller.client;
+        arrival = start + (i * period);
+        bank = i mod banks;
+        row = i / (banks * 8) })
+
+let random ~min_gap ~client ~banks ~rows ~count ~mean_gap ~seed =
+  let rng = Prelude.Rng.make seed in
+  let rec go i now acc =
+    if i = count then List.rev acc
+    else begin
+      let gap = min_gap + Prelude.Rng.int rng (2 * mean_gap) in
+      let arrival = now + gap in
+      let r =
+        { Controller.client; arrival;
+          bank = Prelude.Rng.int rng banks;
+          row = Prelude.Rng.int rng rows }
+      in
+      go (i + 1) arrival (r :: acc)
+    end
+  in
+  go 0 0 []

@@ -1,0 +1,14 @@
+(** Request-stream generators for DRAM experiments. *)
+
+val streaming :
+  client:int -> banks:int -> count:int -> period:int -> int -> Controller.request list
+(** [streaming ~client ~banks ~count ~period start] — sequential rows across
+    banks, one request every [period] cycles from [start]; high row locality. *)
+
+val random :
+  min_gap:int ->
+  client:int -> banks:int -> rows:int -> count:int -> mean_gap:int -> seed:int ->
+  Controller.request list
+(** Random banks/rows with inter-arrival gaps in [min_gap, min_gap +
+    2*mean_gap]. Use a [min_gap] above the controller's latency bound to
+    model a client with at most one outstanding request. *)

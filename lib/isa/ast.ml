@@ -1,0 +1,156 @@
+type cond = {
+  cmp : Instr.cmp;
+  ra : Reg.t;
+  rb : Reg.t;
+}
+
+type t =
+  | Block of Instr.t list
+  | Seq of t list
+  | If of cond * t * t
+  | Loop of { count : int; counter : Reg.t; body : t }
+  | While of { bound : int; cond : cond; body : t }
+  | Call of string
+
+type func = {
+  name : string;
+  body : t;
+}
+
+type shape =
+  | SBlock of (int * Instr.t) list
+  | SSeq of shape list
+  | SIf of { branch : int * Instr.t; then_ : shape; jump : int * Instr.t; else_ : shape }
+  | SLoop of { count : int; init : (int * Instr.t) list; body : shape;
+               latch : (int * Instr.t) list }
+  | SWhile of { bound : int; guard : int * Instr.t; body : shape;
+                back : int * Instr.t }
+  | SCall of { site : int * Instr.t; callee : string }
+
+let zero = Reg.r14
+
+exception Malformed of string
+
+(* Lowering emits into a mutable item buffer while tracking the absolute
+   position of the next instruction, which is how shapes learn their pcs. *)
+type emitter = {
+  mutable items : Program.item list;  (* reversed *)
+  mutable next_pc : int;
+  mutable fresh : int;
+}
+
+let emit e ins =
+  let pc = e.next_pc in
+  e.items <- Program.Ins ins :: e.items;
+  e.next_pc <- pc + 1;
+  (pc, ins)
+
+let emit_label e name = e.items <- Program.Label name :: e.items
+
+let fresh_label e prefix =
+  let n = e.fresh in
+  e.fresh <- n + 1;
+  Printf.sprintf "$%s%d" prefix n
+
+let check_block instrs =
+  let bad ins = Instr.is_control ins in
+  if List.exists bad instrs then
+    raise (Malformed "Block contains a control-flow instruction")
+
+let rec lower e known node =
+  match node with
+  | Block instrs ->
+    check_block instrs;
+    SBlock (List.map (emit e) instrs)
+  | Seq nodes -> SSeq (List.map (lower e known) nodes)
+  | If (cond, then_node, else_node) ->
+    let lelse = fresh_label e "else" and lend = fresh_label e "endif" in
+    let branch =
+      emit e (Instr.Br (Instr.negate_cmp cond.cmp, cond.ra, cond.rb, lelse))
+    in
+    let then_ = lower e known then_node in
+    let jump = emit e (Instr.Jmp lend) in
+    emit_label e lelse;
+    let else_ = lower e known else_node in
+    emit_label e lend;
+    SIf { branch; then_; jump; else_ }
+  | Loop { count; counter; body } ->
+    if count < 1 then raise (Malformed "Loop count must be >= 1");
+    let lhead = fresh_label e "loop" in
+    let init = [ emit e (Instr.Li (counter, count)) ] in
+    emit_label e lhead;
+    let body_shape = lower e known body in
+    let dec = emit e (Instr.Alui (Instr.Sub, counter, counter, 1)) in
+    let back = emit e (Instr.Br (Instr.Ne, counter, zero, lhead)) in
+    SLoop { count; init; body = body_shape; latch = [ dec; back ] }
+  | While { bound; cond; body } ->
+    let lhead = fresh_label e "while" and lexit = fresh_label e "wexit" in
+    emit_label e lhead;
+    let guard =
+      emit e (Instr.Br (Instr.negate_cmp cond.cmp, cond.ra, cond.rb, lexit))
+    in
+    let body_shape = lower e known body in
+    let back = emit e (Instr.Jmp lhead) in
+    emit_label e lexit;
+    SWhile { bound; guard; body = body_shape; back }
+  | Call callee ->
+    if not (List.mem callee known) then
+      raise (Malformed (Printf.sprintf "call to unknown function %S" callee));
+    SCall { site = emit e (Instr.Call callee); callee }
+
+let compile funcs =
+  if funcs = [] then raise (Malformed "no functions");
+  let known = List.map (fun f -> f.name) funcs in
+  let e = { items = []; next_pc = 0; fresh = 0 } in
+  let lower_func is_entry f =
+    let preamble = emit e (Instr.Li (zero, 0)) in
+    let body_shape = lower e known f.body in
+    let finish = emit e (if is_entry then Instr.Halt else Instr.Ret) in
+    let items_for_func = e.items in
+    e.items <- [];
+    let shape = SSeq [ SBlock [ preamble ]; body_shape; SBlock [ finish ] ] in
+    ({ Program.name = f.name; body = List.rev items_for_func }, shape)
+  in
+  (* Explicit left-to-right recursion: the emitter is stateful and positions
+     must be assigned in layout order. *)
+  let rec lower_all i = function
+    | [] -> []
+    | f :: rest ->
+      let lowered = lower_func (i = 0) f in
+      (f.name, lowered) :: lower_all (i + 1) rest
+  in
+  let compiled = lower_all 0 funcs in
+  let prog_funcs = List.map (fun (_, (pf, _)) -> pf) compiled in
+  let shapes = List.map (fun (name, (_, s)) -> (name, s)) compiled in
+  (Program.link prog_funcs, shapes)
+
+let rec shape_instrs = function
+  | SBlock pairs -> pairs
+  | SSeq shapes -> List.concat_map shape_instrs shapes
+  | SIf { branch; then_; jump; else_ } ->
+    (branch :: shape_instrs then_) @ (jump :: shape_instrs else_)
+  | SLoop { init; body; latch; count = _ } ->
+    init @ shape_instrs body @ latch
+  | SWhile { guard; body; back; bound = _ } ->
+    guard :: (shape_instrs body @ [ back ])
+  | SCall { site; callee = _ } -> [ site ]
+
+let rec pp ppf = function
+  | Block instrs ->
+    Format.fprintf ppf "@[<v 2>block {@ %a@]@ }"
+      (Format.pp_print_list Instr.pp) instrs
+  | Seq nodes ->
+    Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp) nodes
+  | If (c, t, f) ->
+    Format.fprintf ppf "@[<v 2>if (%a %s %a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }"
+      Reg.pp c.ra
+      (match c.cmp with Instr.Eq -> "==" | Instr.Ne -> "!=" | Instr.Lt -> "<"
+                      | Instr.Ge -> ">=")
+      Reg.pp c.rb pp t pp f
+  | Loop { count; counter; body } ->
+    Format.fprintf ppf "@[<v 2>loop %d times (%a) {@ %a@]@ }"
+      count Reg.pp counter pp body
+  | While { bound; cond; body } ->
+    Format.fprintf ppf "@[<v 2>while[<=%d] (%a ? %a) {@ %a@]@ }"
+      bound Reg.pp cond.ra Reg.pp cond.rb pp body
+  | Call name -> Format.fprintf ppf "call %s" name

@@ -1,0 +1,66 @@
+(** Structured programs: the source form for workloads and the input of the
+    structural WCET / cache analyses.
+
+    Structured control flow (sequence, if, bounded loops, calls) is what makes
+    sound static timing bounds computable without a general IPET solver: the
+    analyses in [lib/analysis] recurse over this structure. [compile] lowers a
+    structured program to a flat {!Program.t} and simultaneously produces a
+    {!shape} per function — the same tree, annotated with the absolute
+    position of every emitted instruction — so that analyses see exactly the
+    code the timing models execute.
+
+    Register conventions imposed on compiled code: {!zero} ([r14]) is loaded
+    with 0 in every function preamble and must not be written by user code;
+    loop counters are caller-chosen registers that user code must treat as
+    reserved inside the loop body. *)
+
+type cond = {
+  cmp : Instr.cmp;
+  ra : Reg.t;
+  rb : Reg.t;
+}
+
+type t =
+  | Block of Instr.t list
+      (** Straight-line code; must not contain control-flow instructions. *)
+  | Seq of t list
+  | If of cond * t * t
+  | Loop of { count : int; counter : Reg.t; body : t }
+      (** Counted loop executing [body] exactly [count] times ([count >= 1]);
+          [counter] is clobbered. *)
+  | While of { bound : int; cond : cond; body : t }
+      (** Data-dependent loop; [bound] is the analyst-provided maximal
+          iteration count used by the WCET analysis. *)
+  | Call of string
+
+type func = {
+  name : string;
+  body : t;
+}
+
+(** Lowered structure: the source tree annotated with emitted instruction
+    positions. [SBlock] carries [(pc, instruction)] pairs. *)
+type shape =
+  | SBlock of (int * Instr.t) list
+  | SSeq of shape list
+  | SIf of { branch : int * Instr.t; then_ : shape; jump : int * Instr.t; else_ : shape }
+  | SLoop of { count : int; init : (int * Instr.t) list; body : shape;
+               latch : (int * Instr.t) list }
+  | SWhile of { bound : int; guard : int * Instr.t; body : shape;
+                back : int * Instr.t }
+  | SCall of { site : int * Instr.t; callee : string }
+
+val zero : Reg.t
+(** The register the compiler pins to 0 in every function ([r14]). *)
+
+exception Malformed of string
+
+val compile : func list -> Program.t * (string * shape) list
+(** Lower a structured program (first function is the entry point; it ends in
+    [Halt], the others in [Ret]). @raise Malformed on control flow inside
+    [Block], loops with [count < 1], or calls to unknown functions. *)
+
+val shape_instrs : shape -> (int * Instr.t) list
+(** All [(pc, instruction)] pairs of a shape, in layout order. *)
+
+val pp : Format.formatter -> t -> unit

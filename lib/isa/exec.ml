@@ -1,0 +1,115 @@
+type input = {
+  regs : (Reg.t * int) list;
+  mem : (int * int) list;
+}
+
+let input ?(regs = []) ?(mem = []) () = { regs; mem }
+
+type event = {
+  index : int;
+  pc : int;
+  ins : Instr.t;
+  addr : int option;
+  taken : bool option;
+  operand : int;
+}
+
+type outcome = {
+  trace : event array;
+  final_regs : int array;
+  read_mem : int -> int;
+  steps : int;
+}
+
+exception Stuck of string
+exception Out_of_fuel
+
+let alu_eval op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 31)
+  | Instr.Shr -> a asr (b land 31)
+  | Instr.Slt -> if a < b then 1 else 0
+
+let run ?(fuel = 1_000_000) program inp =
+  let regs = Array.make Reg.count 0 in
+  List.iter (fun (r, v) -> regs.(Reg.index r) <- v) inp.regs;
+  let mem = Hashtbl.create 64 in
+  List.iter (fun (a, v) -> Hashtbl.replace mem a v) inp.mem;
+  let load a = match Hashtbl.find_opt mem a with Some v -> v | None -> 0 in
+  let events = ref [] in
+  let stack = ref [] in
+  let rec step pc count =
+    if count >= fuel then raise Out_of_fuel;
+    if pc < 0 || pc >= Program.length program then
+      raise (Stuck (Printf.sprintf "pc %d out of range" pc));
+    let ins = Program.instr program pc in
+    let record ?addr ?taken ?(operand = 0) () =
+      events := { index = count; pc; ins; addr; taken; operand } :: !events
+    in
+    let get r = regs.(Reg.index r) in
+    let set r v = regs.(Reg.index r) <- v in
+    match ins with
+    | Instr.Nop -> record (); step (pc + 1) (count + 1)
+    | Instr.Alu (op, rd, ra, rb) ->
+      record ();
+      set rd (alu_eval op (get ra) (get rb));
+      step (pc + 1) (count + 1)
+    | Instr.Alui (op, rd, ra, imm) ->
+      record ();
+      set rd (alu_eval op (get ra) imm);
+      step (pc + 1) (count + 1)
+    | Instr.Li (rd, imm) -> record (); set rd imm; step (pc + 1) (count + 1)
+    | Instr.Mul (rd, ra, rb) ->
+      record ~operand:(get rb) ();
+      set rd (get ra * get rb);
+      step (pc + 1) (count + 1)
+    | Instr.Div (rd, ra, rb) ->
+      let b = get rb in
+      if b = 0 then raise (Stuck "division by zero");
+      record ~operand:b ();
+      set rd (get ra / b);
+      step (pc + 1) (count + 1)
+    | Instr.Ld (rd, ra, off) ->
+      let a = get ra + off in
+      record ~addr:a ();
+      set rd (load a);
+      step (pc + 1) (count + 1)
+    | Instr.St (rd, ra, off) ->
+      let a = get ra + off in
+      record ~addr:a ();
+      Hashtbl.replace mem a (get rd);
+      step (pc + 1) (count + 1)
+    | Instr.Sel (rd, rc, ra, rb) ->
+      record ();
+      set rd (if get rc <> 0 then get ra else get rb);
+      step (pc + 1) (count + 1)
+    | Instr.Br (cmp, ra, rb, target) ->
+      let taken = Instr.eval_cmp cmp (get ra) (get rb) in
+      record ~taken ();
+      let next = if taken then Program.resolve program target else pc + 1 in
+      step next (count + 1)
+    | Instr.Jmp target ->
+      record ();
+      step (Program.resolve program target) (count + 1)
+    | Instr.Call name ->
+      record ();
+      stack := (pc + 1) :: !stack;
+      step (Program.resolve program name) (count + 1)
+    | Instr.Ret ->
+      record ();
+      begin match !stack with
+        | [] -> raise (Stuck "return with empty call stack")
+        | ret :: rest -> stack := rest; step ret (count + 1)
+      end
+    | Instr.Halt -> record (); count + 1
+  in
+  let steps = step (Program.entry program) 0 in
+  let trace = Array.of_list (List.rev !events) in
+  { trace; final_regs = Array.copy regs; read_mem = load; steps }
+
+let result_reg outcome r = outcome.final_regs.(Reg.index r)

@@ -1,0 +1,43 @@
+(** Functional (architectural) interpreter.
+
+    Executes a program and records the dynamic instruction stream. Timing
+    models (pipelines, caches, DRAM) are *trace-driven*: they replay this
+    stream and charge cycles, so the functional semantics is defined once,
+    here, and shared by every microarchitectural model. *)
+
+type input = {
+  regs : (Reg.t * int) list;  (** initial register values (others are 0) *)
+  mem : (int * int) list;     (** initial data memory (other cells are 0) *)
+}
+
+val input : ?regs:(Reg.t * int) list -> ?mem:(int * int) list -> unit -> input
+
+type event = {
+  index : int;            (** position in the dynamic stream *)
+  pc : int;               (** static position of the instruction *)
+  ins : Instr.t;
+  addr : int option;      (** resolved effective address for [Ld]/[St] *)
+  taken : bool option;    (** outcome for conditional branches *)
+  operand : int;          (** second-operand value for [Mul]/[Div]
+                              (drives value-dependent latency models) *)
+}
+
+type outcome = {
+  trace : event array;
+  final_regs : int array;
+  read_mem : int -> int;  (** final data memory *)
+  steps : int;
+}
+
+exception Stuck of string
+(** Execution error: fell off the code, returned with an empty call stack,
+    divided by zero. *)
+
+exception Out_of_fuel
+(** The step budget was exhausted (non-terminating or runaway program). *)
+
+val run : ?fuel:int -> Program.t -> input -> outcome
+(** [run ?fuel p i] executes [p] from its entry point until [Halt].
+    [fuel] bounds the number of dynamic instructions (default 1_000_000). *)
+
+val result_reg : outcome -> Reg.t -> int

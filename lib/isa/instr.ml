@@ -1,0 +1,79 @@
+type alu_op = Add | Sub | And | Or | Xor | Shl | Shr | Slt
+type cmp = Eq | Ne | Lt | Ge
+
+type t =
+  | Nop
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+  | Alui of alu_op * Reg.t * Reg.t * int
+  | Li of Reg.t * int
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Ld of Reg.t * Reg.t * int
+  | St of Reg.t * Reg.t * int
+  | Sel of Reg.t * Reg.t * Reg.t * Reg.t
+  | Br of cmp * Reg.t * Reg.t * string
+  | Jmp of string
+  | Call of string
+  | Ret
+  | Halt
+
+let negate_cmp = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt
+
+let eval_cmp cmp a b =
+  match cmp with Eq -> a = b | Ne -> a <> b | Lt -> a < b | Ge -> a >= b
+
+let defs = function
+  | Nop | St _ | Br _ | Jmp _ | Call _ | Ret | Halt -> []
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Li (rd, _)
+  | Mul (rd, _, _) | Div (rd, _, _) | Ld (rd, _, _)
+  | Sel (rd, _, _, _) -> [ rd ]
+
+let uses = function
+  | Nop | Li _ | Jmp _ | Call _ | Ret | Halt -> []
+  | Alu (_, _, ra, rb) | Mul (_, ra, rb) | Div (_, ra, rb) -> [ ra; rb ]
+  | Alui (_, _, ra, _) | Ld (_, ra, _) -> [ ra ]
+  | St (rd, ra, _) -> [ rd; ra ]
+  | Sel (_, rc, ra, rb) -> [ rc; ra; rb ]
+  | Br (_, ra, rb, _) -> [ ra; rb ]
+
+let is_branch = function Br _ -> true | _ -> false
+
+let is_control = function
+  | Br _ | Jmp _ | Call _ | Ret | Halt -> true
+  | Nop | Alu _ | Alui _ | Li _ | Mul _ | Div _ | Ld _ | St _ | Sel _ -> false
+
+let is_memory = function Ld _ | St _ -> true | _ -> false
+
+let pp_alu_op ppf op =
+  let name =
+    match op with
+    | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or"
+    | Xor -> "xor" | Shl -> "shl" | Shr -> "shr" | Slt -> "slt"
+  in
+  Format.pp_print_string ppf name
+
+let pp_cmp ppf cmp =
+  let name = match cmp with Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Ge -> "ge" in
+  Format.pp_print_string ppf name
+
+let pp ppf = function
+  | Nop -> Format.fprintf ppf "nop"
+  | Alu (op, rd, ra, rb) ->
+    Format.fprintf ppf "%a %a, %a, %a" pp_alu_op op Reg.pp rd Reg.pp ra Reg.pp rb
+  | Alui (op, rd, ra, imm) ->
+    Format.fprintf ppf "%ai %a, %a, %d" pp_alu_op op Reg.pp rd Reg.pp ra imm
+  | Li (rd, imm) -> Format.fprintf ppf "li %a, %d" Reg.pp rd imm
+  | Mul (rd, ra, rb) ->
+    Format.fprintf ppf "mul %a, %a, %a" Reg.pp rd Reg.pp ra Reg.pp rb
+  | Div (rd, ra, rb) ->
+    Format.fprintf ppf "div %a, %a, %a" Reg.pp rd Reg.pp ra Reg.pp rb
+  | Ld (rd, ra, off) -> Format.fprintf ppf "ld %a, %d(%a)" Reg.pp rd off Reg.pp ra
+  | St (rd, ra, off) -> Format.fprintf ppf "st %a, %d(%a)" Reg.pp rd off Reg.pp ra
+  | Sel (rd, rc, ra, rb) ->
+    Format.fprintf ppf "sel %a, %a ? %a : %a" Reg.pp rd Reg.pp rc Reg.pp ra Reg.pp rb
+  | Br (cmp, ra, rb, label) ->
+    Format.fprintf ppf "b%a %a, %a, %s" pp_cmp cmp Reg.pp ra Reg.pp rb label
+  | Jmp label -> Format.fprintf ppf "jmp %s" label
+  | Call name -> Format.fprintf ppf "call %s" name
+  | Ret -> Format.fprintf ppf "ret"
+  | Halt -> Format.fprintf ppf "halt"

@@ -1,0 +1,49 @@
+(** Instruction set of the miniature RISC machine.
+
+    The set is deliberately small but covers everything the surveyed
+    predictability mechanisms need: fixed-latency ALU operations,
+    variable-latency multiply/divide (a source of timing variability that
+    Whitham-style virtual traces must constrain), loads/stores (exercising the
+    memory hierarchy), conditional branches (exercising branch prediction),
+    a predicated select (the target of the single-path transformation), and
+    call/return (exercising the method cache). *)
+
+type alu_op = Add | Sub | And | Or | Xor | Shl | Shr | Slt
+type cmp = Eq | Ne | Lt | Ge
+
+type t =
+  | Nop
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t   (** [Alu (op, rd, ra, rb)] *)
+  | Alui of alu_op * Reg.t * Reg.t * int    (** [Alui (op, rd, ra, imm)] *)
+  | Li of Reg.t * int                       (** load immediate *)
+  | Mul of Reg.t * Reg.t * Reg.t            (** variable-latency multiply *)
+  | Div of Reg.t * Reg.t * Reg.t            (** variable-latency divide *)
+  | Ld of Reg.t * Reg.t * int               (** [rd <- mem\[ra + off\]] *)
+  | St of Reg.t * Reg.t * int               (** [mem\[ra + off\] <- rd] *)
+  | Sel of Reg.t * Reg.t * Reg.t * Reg.t    (** [Sel (rd, rc, ra, rb)]:
+                                                [rd <- if rc <> 0 then ra else rb];
+                                                single-path predication *)
+  | Br of cmp * Reg.t * Reg.t * string      (** conditional branch to label *)
+  | Jmp of string
+  | Call of string                          (** call function by name *)
+  | Ret
+  | Halt
+
+val negate_cmp : cmp -> cmp
+val eval_cmp : cmp -> int -> int -> bool
+
+val defs : t -> Reg.t list
+(** Registers written by the instruction. *)
+
+val uses : t -> Reg.t list
+(** Registers read by the instruction. *)
+
+val is_branch : t -> bool
+(** Conditional branches only. *)
+
+val is_control : t -> bool
+(** Any control transfer: branch, jump, call, return, halt. *)
+
+val is_memory : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = int
+
+let count = 16
+
+let make i =
+  if i < 0 || i >= count then invalid_arg "Reg.make: register index out of range"
+  else i
+
+let index t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.fprintf ppf "r%d" t
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+let all = List.init count (fun i -> i)

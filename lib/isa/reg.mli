@@ -1,0 +1,34 @@
+(** Architectural registers of the miniature RISC ISA.
+
+    Sixteen general-purpose registers [r0]..[r15]; [r0] is an ordinary
+    register (not hardwired to zero). *)
+
+type t
+
+val count : int
+val make : int -> t
+(** @raise Invalid_argument outside [0, count). *)
+
+val index : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val r0 : t
+val r1 : t
+val r2 : t
+val r3 : t
+val r4 : t
+val r5 : t
+val r6 : t
+val r7 : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+val r13 : t
+val r14 : t
+val r15 : t
+
+val all : t list

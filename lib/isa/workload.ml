@@ -1,0 +1,552 @@
+type t = {
+  name : string;
+  description : string;
+  funcs : Ast.func list;
+  inputs : Exec.input list;
+  result_regs : Reg.t list;
+}
+
+let program w = Ast.compile w.funcs
+
+let data_base = 1000
+let coeff_base = 2000
+let aux_base = 3000
+let out_base = 4000
+
+let zero = Ast.zero
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | items ->
+    List.concat_map
+      (fun x ->
+         let rest = List.filter (fun y -> y <> x) items in
+         List.map (fun p -> x :: p) (permutations rest))
+      items
+
+let array_input ?(regs = []) values =
+  let mem = List.mapi (fun i v -> (data_base + i, v)) values in
+  Exec.input ~regs ~mem ()
+
+let sampled_shuffles ~count ~n =
+  let rng = Prelude.Rng.make 0x5eed in
+  List.init count (fun _ ->
+      Prelude.Rng.shuffle rng (List.init n (fun i -> i)))
+
+(* Common condition builders. *)
+let cond cmp ra rb = { Ast.cmp; ra; rb }
+let nonzero r = cond Instr.Ne r zero
+
+let bubble_sort ~n =
+  if n < 2 then invalid_arg "Workload.bubble_sort: n must be >= 2";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r4 = Reg.r4
+  and r5 = Reg.r5 and r6 = Reg.r6 in
+  let body =
+    Ast.Loop
+      { count = n - 1; counter = r1;
+        body =
+          Ast.Seq
+            [ Ast.Block [ Li (r3, data_base) ];
+              Ast.Loop
+                { count = n - 1; counter = r2;
+                  body =
+                    Ast.Seq
+                      [ Ast.Block
+                          [ Ld (r4, r3, 0); Ld (r5, r3, 1);
+                            Alu (Slt, r6, r5, r4) ];
+                        Ast.If
+                          (nonzero r6,
+                           Ast.Block [ St (r5, r3, 0); St (r4, r3, 1) ],
+                           Ast.Seq []);
+                        Ast.Block [ Alui (Add, r3, r3, 1) ] ] } ] }
+  in
+  let inputs =
+    let perms =
+      if n <= 5 then permutations (List.init n (fun i -> i))
+      else sampled_shuffles ~count:120 ~n
+    in
+    List.map (fun p -> array_input p) perms
+  in
+  { name = Printf.sprintf "bubble_sort_%d" n;
+    description = "bubble sort; swap count (and time) is input-dependent";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [] }
+
+let fir ~taps ~samples =
+  if taps < 1 || samples < 1 then invalid_arg "Workload.fir: sizes must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r7 = Reg.r7
+  and r8 = Reg.r8 and r9 = Reg.r9 and r10 = Reg.r10 and r11 = Reg.r11
+  and r12 = Reg.r12 and r13 = Reg.r13 in
+  (* r2: input pointer, r13: output pointer; inner loop accumulates into r7. *)
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r2, aux_base); Li (r13, out_base) ];
+        Ast.Loop
+          { count = samples; counter = r1;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Li (r7, 0); Li (r8, coeff_base);
+                              Alu (Add, r9, r2, zero) ];
+                  Ast.Loop
+                    { count = taps; counter = r3;
+                      body =
+                        Ast.Block
+                          [ Ld (r10, r8, 0); Ld (r11, r9, 0);
+                            Mul (r12, r10, r11); Alu (Add, r7, r7, r12);
+                            Alui (Add, r8, r8, 1); Alui (Add, r9, r9, 1) ] };
+                  Ast.Block
+                    [ St (r7, r13, 0); Alui (Add, r2, r2, 1);
+                      Alui (Add, r13, r13, 1) ] ] } ]
+  in
+  let coeffs = List.init taps (fun k -> (coeff_base + k, (k mod 5) + 1)) in
+  let signal magnitude seed =
+    let rng = Prelude.Rng.make seed in
+    List.init (samples + taps)
+      (fun k -> (aux_base + k, Prelude.Rng.int rng magnitude))
+  in
+  let inputs =
+    List.concat_map
+      (fun magnitude ->
+         List.init 4 (fun seed ->
+             Exec.input ~mem:(coeffs @ signal magnitude (seed + 7)) ()))
+      [ 2; 64; 4096 ]
+  in
+  { name = Printf.sprintf "fir_%dx%d" taps samples;
+    description = "FIR filter; multiplier latency varies with signal magnitude";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r7 ] }
+
+let matmul ~n =
+  if n < 1 then invalid_arg "Workload.matmul: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r4 = Reg.r4
+  and r5 = Reg.r5 and r6 = Reg.r6 and r7 = Reg.r7 and r8 = Reg.r8
+  and r9 = Reg.r9 and r10 = Reg.r10 and r11 = Reg.r11 and r12 = Reg.r12 in
+  (* r4: A row pointer; r5: B column pointer; r6: C pointer. *)
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r4, coeff_base); Li (r6, out_base) ];
+        Ast.Loop
+          { count = n; counter = r1;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Li (r5, aux_base) ];
+                  Ast.Loop
+                    { count = n; counter = r2;
+                      body =
+                        Ast.Seq
+                          [ Ast.Block
+                              [ Li (r7, 0); Alu (Add, r8, r4, zero);
+                                Alu (Add, r9, r5, zero) ];
+                            Ast.Loop
+                              { count = n; counter = r3;
+                                body =
+                                  Ast.Block
+                                    [ Ld (r10, r8, 0); Ld (r11, r9, 0);
+                                      Mul (r12, r10, r11);
+                                      Alu (Add, r7, r7, r12);
+                                      Alui (Add, r8, r8, 1);
+                                      Alui (Add, r9, r9, n) ] };
+                            Ast.Block
+                              [ St (r7, r6, 0); Alui (Add, r6, r6, 1);
+                                Alui (Add, r5, r5, 1) ] ] };
+                  Ast.Block [ Alui (Add, r4, r4, n) ] ] } ]
+  in
+  let matrix base seed =
+    let rng = Prelude.Rng.make seed in
+    List.init (n * n) (fun k -> (base + k, Prelude.Rng.int rng 100))
+  in
+  let inputs =
+    List.init 5 (fun seed ->
+        Exec.input ~mem:(matrix coeff_base (seed * 2 + 1) @ matrix aux_base (seed * 2 + 2)) ())
+  in
+  { name = Printf.sprintf "matmul_%d" n;
+    description = "dense integer matrix multiply; counted loops only";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r7 ] }
+
+let bsearch ~n =
+  if n < 1 then invalid_arg "Workload.bsearch: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r4 = Reg.r4
+  and r10 = Reg.r10 and r11 = Reg.r11 and r12 = Reg.r12 in
+  let log2 =
+    let rec go acc k = if k <= 1 then acc else go (acc + 1) (k / 2) in
+    go 0 n
+  in
+  (* lo in r2, hi in r12 (addresses); key in r1; result index in r11. *)
+  let body =
+    Ast.Seq
+      [ Ast.Block
+          [ Alu (Add, r10, r1, zero); Li (r2, data_base);
+            Li (r12, data_base + n - 1); Li (r11, -1) ];
+        Ast.While
+          { bound = log2 + 2;
+            cond = cond Instr.Ge r12 r2;
+            body =
+              Ast.Seq
+                [ Ast.Block
+                    [ Alu (Add, r3, r2, r12); Alui (Shr, r3, r3, 1);
+                      Ld (r4, r3, 0) ];
+                  Ast.If
+                    (cond Instr.Lt r4 r10,
+                     Ast.Block [ Alui (Add, r2, r3, 1) ],
+                     Ast.If
+                       (cond Instr.Lt r10 r4,
+                        Ast.Block [ Alui (Sub, r12, r3, 1) ],
+                        Ast.Block
+                          [ Alu (Add, r11, r3, zero);
+                            Alui (Add, r2, r12, 1) ])) ] } ]
+  in
+  let sorted = List.init n (fun i -> 2 * i) in
+  let inputs =
+    List.map
+      (fun key -> array_input ~regs:[ (r1, key) ] sorted)
+      (List.init (2 * n + 1) (fun k -> k - 1))
+  in
+  { name = Printf.sprintf "bsearch_%d" n;
+    description = "binary search; iteration count depends on the key";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r11 ] }
+
+let max_array ~n =
+  if n < 1 then invalid_arg "Workload.max_array: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r3 = Reg.r3 and r4 = Reg.r4 and r6 = Reg.r6
+  and r7 = Reg.r7 in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r3, data_base); Li (r7, -1000000) ];
+        Ast.Loop
+          { count = n; counter = r1;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Ld (r4, r3, 0); Alu (Slt, r6, r7, r4) ];
+                  Ast.If (nonzero r6, Ast.Block [ Alu (Add, r7, r4, zero) ],
+                          Ast.Seq []);
+                  Ast.Block [ Alui (Add, r3, r3, 1) ] ] } ]
+  in
+  let inputs =
+    let ascending = List.init n (fun i -> i) in
+    let descending = List.init n (fun i -> n - i) in
+    let rng = Prelude.Rng.make 0xacc in
+    let random _ = List.init n (fun _ -> Prelude.Rng.int rng 1000) in
+    List.map array_input
+      ([ ascending; descending ] @ List.init 10 random)
+  in
+  { name = Printf.sprintf "max_array_%d" n;
+    description = "array maximum; one data-dependent branch per element";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r7 ] }
+
+let clamp () =
+  let open Instr in
+  let r1 = Reg.r1 and r6 = Reg.r6 and r7 = Reg.r7 in
+  let lo = 10 and hi = 100 in
+  (* Two sequential ifs rather than a nested one: semantically equivalent
+     for lo < hi, and inside the fragment the single-path transformation
+     accepts. *)
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r6, lo); Li (r7, hi) ];
+        Ast.If
+          (cond Instr.Lt r1 r6,
+           Ast.Block [ Alu (Add, r1, r6, zero) ],
+           Ast.Seq []);
+        Ast.If
+          (cond Instr.Lt r7 r1,
+           Ast.Block [ Alu (Add, r1, r7, zero) ],
+           Ast.Seq []) ]
+  in
+  let inputs =
+    List.map (fun v -> Exec.input ~regs:[ (r1, v) ] ())
+      [ -50; 0; 9; 10; 11; 55; 99; 100; 101; 500 ]
+  in
+  { name = "clamp";
+    description = "range clamp; pure branching";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r1 ] }
+
+let crc ~bits =
+  if bits < 1 then invalid_arg "Workload.crc: bits must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r4 = Reg.r4 and r7 = Reg.r7
+  and r8 = Reg.r8 in
+  let poly = 0xEDB8 in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Alu (Add, r7, r1, zero); Li (r8, poly) ];
+        Ast.Loop
+          { count = bits; counter = r2;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Alui (And, r4, r7, 1); Alui (Shr, r7, r7, 1) ];
+                  Ast.If (nonzero r4,
+                          Ast.Block [ Alu (Xor, r7, r7, r8) ],
+                          Ast.Seq []) ] } ]
+  in
+  let rng = Prelude.Rng.make 0xc4c in
+  let inputs =
+    List.init 16 (fun _ ->
+        Exec.input ~regs:[ (r1, Prelude.Rng.int rng 65536) ] ())
+  in
+  { name = Printf.sprintf "crc_%d" bits;
+    description = "bitwise CRC; branch outcome equals each input bit";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r7 ] }
+
+let call_chain ~calls ~rounds =
+  if calls < 1 || rounds < 1 then
+    invalid_arg "Workload.call_chain: calls and rounds must be >= 1";
+  let open Instr in
+  let helper k =
+    (* Helpers have staggered sizes so they occupy different numbers of
+       method-cache blocks. *)
+    let work =
+      List.concat
+        (List.init (k + 1) (fun _ ->
+             [ Alui (Add, Reg.r7, Reg.r7, 1); Alu (Xor, Reg.r8, Reg.r8, Reg.r7) ]))
+    in
+    { Ast.name = Printf.sprintf "helper%d" k; body = Ast.Block work }
+  in
+  let helpers = List.init calls helper in
+  let main_body =
+    Ast.Loop
+      { count = rounds; counter = Reg.r1;
+        body =
+          Ast.Seq (List.init calls (fun k -> Ast.Call (Printf.sprintf "helper%d" k))) }
+  in
+  { name = Printf.sprintf "call_chain_%dx%d" calls rounds;
+    description = "call-heavy workload for method-cache experiments";
+    funcs = { Ast.name = "main"; body = main_body } :: helpers;
+    inputs = [ Exec.input () ]; result_regs = [ Reg.r7; Reg.r8 ] }
+
+let branchy ~n =
+  if n < 1 then invalid_arg "Workload.branchy: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r3 = Reg.r3 and r4 = Reg.r4 and r7 = Reg.r7
+  and r8 = Reg.r8 in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r3, data_base) ];
+        Ast.Loop
+          { count = n; counter = r1;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Ld (r4, r3, 0) ];
+                  Ast.If (nonzero r4,
+                          Ast.Block [ Alui (Add, r7, r7, 1) ],
+                          Ast.Block [ Alui (Add, r8, r8, 1) ]);
+                  Ast.Block [ Alui (Add, r3, r3, 1) ] ] } ]
+  in
+  let pattern f = array_input (List.init n f) in
+  let rng = Prelude.Rng.make 0xb4a
+  in
+  let inputs =
+    [ pattern (fun _ -> 0);                       (* never taken *)
+      pattern (fun _ -> 1);                       (* always taken *)
+      pattern (fun i -> i mod 2);                 (* alternating *)
+      pattern (fun i -> if i mod 4 = 0 then 1 else 0) ]
+    @ List.init 8 (fun _ -> pattern (fun _ -> Prelude.Rng.int rng 2))
+  in
+  { name = Printf.sprintf "branchy_%d" n;
+    description = "data-dependent branch per element; pattern is the input";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ Reg.r7; Reg.r8 ] }
+
+let insertion_sort ~n =
+  if n < 2 then invalid_arg "Workload.insertion_sort: n must be >= 2";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r4 = Reg.r4
+  and r5 = Reg.r5 and r6 = Reg.r6 and r7 = Reg.r7 and r8 = Reg.r8
+  and r9 = Reg.r9 in
+  (* r2: address of element i; r3: scan pointer; r4: key; r9: array base.
+     The inner while-loop guard r6 = (r3 > base) && (key < mem[r3-1]) is
+     computed before the loop and re-computed at the end of each body. *)
+  let guard_computation =
+    Ast.Block
+      [ Alu (Slt, r5, r9, r3);      (* r5 = base < scan *)
+        Ld (r7, r3, -1);
+        Alu (Slt, r8, r4, r7);      (* r8 = key < mem[scan-1] *)
+        Alu (And, r6, r5, r8) ]
+  in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r9, data_base); Alui (Add, r2, r9, 1) ];
+        Ast.Loop
+          { count = n - 1; counter = r1;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Ld (r4, r2, 0); Alu (Add, r3, r2, zero) ];
+                  guard_computation;
+                  Ast.While
+                    { bound = n;
+                      cond = nonzero r6;
+                      body =
+                        Ast.Seq
+                          [ Ast.Block
+                              [ Ld (r7, r3, -1); St (r7, r3, 0);
+                                Alui (Sub, r3, r3, 1) ];
+                            guard_computation ] };
+                  Ast.Block [ St (r4, r3, 0); Alui (Add, r2, r2, 1) ] ] } ]
+  in
+  let inputs =
+    let perms =
+      if n <= 5 then permutations (List.init n (fun i -> i))
+      else sampled_shuffles ~count:80 ~n
+    in
+    List.map (fun p -> array_input p) perms
+  in
+  { name = Printf.sprintf "insertion_sort_%d" n;
+    description = "insertion sort; inner loop trip count is input-dependent";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [] }
+
+let vector_dot ~n =
+  if n < 1 then invalid_arg "Workload.vector_dot: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r3 = Reg.r3 and r7 = Reg.r7
+  and r10 = Reg.r10 and r11 = Reg.r11 and r12 = Reg.r12 in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r2, coeff_base); Li (r3, aux_base); Li (r7, 0) ];
+        Ast.Loop
+          { count = n; counter = r1;
+            body =
+              Ast.Block
+                [ Ld (r10, r2, 0); Ld (r11, r3, 0); Mul (r12, r10, r11);
+                  Alu (Add, r7, r7, r12); Alui (Add, r2, r2, 1);
+                  Alui (Add, r3, r3, 1) ] } ]
+  in
+  let vector base seed magnitude =
+    let rng = Prelude.Rng.make seed in
+    List.init n (fun k -> (base + k, Prelude.Rng.int rng magnitude))
+  in
+  let inputs =
+    List.concat_map
+      (fun magnitude ->
+         List.init 3 (fun seed ->
+             Exec.input
+               ~mem:(vector coeff_base (seed + 1) magnitude
+                     @ vector aux_base (seed + 11) magnitude)
+               ()))
+      [ 4; 1000 ]
+  in
+  { name = Printf.sprintf "vector_dot_%d" n;
+    description = "dot product; multiply latency varies with magnitudes";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ r7 ] }
+
+let fibonacci ~n =
+  if n < 1 then invalid_arg "Workload.fibonacci: n must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r7 = Reg.r7 and r8 = Reg.r8 and r9 = Reg.r9 in
+  (* r7 = fib(k), r8 = fib(k+1); after n steps r7 = fib(n). *)
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r7, 0); Li (r8, 1) ];
+        Ast.Loop
+          { count = n; counter = r1;
+            body =
+              Ast.Block
+                [ Alu (Add, r9, r7, r8); Alu (Add, r7, r8, zero);
+                  Alu (Add, r8, r9, zero) ] } ]
+  in
+  { name = Printf.sprintf "fibonacci_%d" n;
+    description = "iterative Fibonacci; naturally single-path";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs = [ Exec.input () ];
+    result_regs = [ r7 ] }
+
+let popcount ~bits =
+  if bits < 1 then invalid_arg "Workload.popcount: bits must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r2 = Reg.r2 and r4 = Reg.r4 and r7 = Reg.r7 in
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r7, 0) ];
+        Ast.Loop
+          { count = bits; counter = r2;
+            body =
+              Ast.Seq
+                [ Ast.Block [ Alui (And, r4, r1, 1); Alui (Shr, r1, r1, 1) ];
+                  Ast.If (nonzero r4,
+                          Ast.Block [ Alui (Add, r7, r7, 1) ],
+                          Ast.Seq []) ] } ]
+  in
+  let rng = Prelude.Rng.make 0x9095 in
+  let inputs =
+    [ Exec.input ~regs:[ (r1, 0) ] ();
+      Exec.input ~regs:[ (r1, (1 lsl bits) - 1) ] () ]
+    @ List.init 10 (fun _ ->
+        Exec.input ~regs:[ (r1, Prelude.Rng.int rng (1 lsl bits)) ] ())
+  in
+  { name = Printf.sprintf "popcount_%d" bits;
+    description = "population count; one data-dependent branch per bit";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ r7 ] }
+
+let state_machine ~steps =
+  if steps < 1 then invalid_arg "Workload.state_machine: steps must be >= 1";
+  let open Instr in
+  let r1 = Reg.r1 and r3 = Reg.r3 and r4 = Reg.r4 and r5 = Reg.r5
+  and r7 = Reg.r7 and r8 = Reg.r8 in
+  let states = 4 in
+  (* Transition table at coeff_base: next = table[state * 2 + symbol];
+     symbols at data_base. r7: current state; r3: symbol pointer. *)
+  let body =
+    Ast.Seq
+      [ Ast.Block [ Li (r7, 0); Li (r3, data_base) ];
+        Ast.Loop
+          { count = steps; counter = r1;
+            body =
+              Ast.Block
+                [ Ld (r4, r3, 0);                  (* symbol *)
+                  Alui (Shl, r5, r7, 1);
+                  Alu (Add, r5, r5, r4);
+                  Alui (Add, r8, r5, coeff_base);  (* &table[state*2+sym] *)
+                  Ld (r7, r8, 0);                  (* data-dependent load *)
+                  Alui (Add, r3, r3, 1) ] } ]
+  in
+  (* A fixed cyclic transition structure over 4 states. *)
+  let table =
+    List.concat
+      (List.init states (fun s ->
+           [ (coeff_base + (s * 2), (s + 1) mod states);
+             (coeff_base + (s * 2) + 1, (s + 3) mod states) ]))
+  in
+  let rng = Prelude.Rng.make 0xf5a in
+  let symbols seed =
+    ignore seed;
+    List.init steps (fun k -> (data_base + k, Prelude.Rng.int rng 2))
+  in
+  let inputs =
+    List.init 8 (fun seed -> Exec.input ~mem:(table @ symbols seed) ())
+  in
+  { name = Printf.sprintf "state_machine_%d" steps;
+    description = "table-driven FSM; transition loads have data-dependent addresses";
+    funcs = [ { Ast.name = "main"; body } ];
+    inputs; result_regs = [ r7 ] }
+
+let registry =
+  [ ("bubble_sort", fun () -> bubble_sort ~n:5);
+    ("insertion_sort", fun () -> insertion_sort ~n:5);
+    ("fir", fun () -> fir ~taps:3 ~samples:4);
+    ("matmul", fun () -> matmul ~n:3);
+    ("bsearch", fun () -> bsearch ~n:16);
+    ("max_array", fun () -> max_array ~n:8);
+    ("clamp", fun () -> clamp ());
+    ("crc", fun () -> crc ~bits:8);
+    ("call_chain", fun () -> call_chain ~calls:4 ~rounds:6);
+    ("branchy", fun () -> branchy ~n:16);
+    ("vector_dot", fun () -> vector_dot ~n:8);
+    ("fibonacci", fun () -> fibonacci ~n:12);
+    ("popcount", fun () -> popcount ~bits:8);
+    ("state_machine", fun () -> state_machine ~steps:8) ]
+
+let find name =
+  match List.assoc_opt name registry with
+  | Some make -> make ()
+  | None -> raise Not_found

@@ -1,0 +1,91 @@
+(** Workload programs with controlled input spaces.
+
+    The paper's quantities (Defs. 3-5) quantify over a set [I] of admissible
+    program inputs; each workload therefore bundles a structured program with
+    a representative, finite input set so that [Pr]/[SIPr]/[IIPr] can be
+    computed exhaustively. The workloads mirror the kinds of kernels the
+    surveyed papers evaluate on: sorting, filtering, searching, bit
+    manipulation, call-heavy code, and branch-heavy code. *)
+
+type t = {
+  name : string;
+  description : string;
+  funcs : Ast.func list;
+  inputs : Exec.input list;
+  result_regs : Reg.t list;
+      (** registers holding the workload's observable result, for functional
+          equivalence checks (e.g. after the single-path transformation) *)
+}
+
+val program : t -> Program.t * (string * Ast.shape) list
+(** Compile the workload (convenience wrapper around {!Ast.compile}). *)
+
+val data_base : int
+(** Base address of each workload's primary data array (1000). *)
+
+val bubble_sort : n:int -> t
+(** Sorts the [n]-element array at {!data_base}. Inputs: all permutations of
+    [0..n-1] when [n <= 5], otherwise 120 sampled shuffles. Swap count (and
+    hence time) is input-dependent. *)
+
+val fir : taps:int -> samples:int -> t
+(** FIR filter; multiply operand magnitudes vary with the input signal,
+    driving the value-dependent multiplier latency. *)
+
+val matmul : n:int -> t
+(** Dense [n*n] integer matrix multiply; counted loops only. *)
+
+val bsearch : n:int -> t
+(** Binary search for the key in [r1] over a fixed sorted array; iteration
+    count is input-dependent (bounded by [log2 n + 2]). *)
+
+val max_array : n:int -> t
+(** Maximum of the array at {!data_base}; one data-dependent branch per
+    element. A canonical single-path-transformation target. *)
+
+val clamp : unit -> t
+(** Clamp the value in [r1] into a fixed range; pure branching, no loops. *)
+
+val crc : bits:int -> t
+(** Bitwise CRC over the word in [r1]; branch per bit, outcome = input bit. *)
+
+val call_chain : calls:int -> rounds:int -> t
+(** [main] repeatedly calls [calls] helper functions of staggered sizes;
+    exercises the method cache. *)
+
+val branchy : n:int -> t
+(** Loop over an array of 0/1 flags with a data-dependent branch; the flag
+    pattern is the input, controlling branch-predictor behaviour. *)
+
+val insertion_sort : n:int -> t
+(** Insertion sort with the classic data-dependent inner while loop: both
+    the branch outcomes and the iteration counts depend on the input. *)
+
+val vector_dot : n:int -> t
+(** Dot product of two [n]-vectors; multiply-accumulate with counted loops. *)
+
+val fibonacci : n:int -> t
+(** Iterative Fibonacci; pure register arithmetic, fully input-independent
+    (a natural single-path program without any transformation). *)
+
+val popcount : bits:int -> t
+(** Population count of the word in [r1]; one data-dependent branch per
+    bit. Transformable to single-path form. *)
+
+val state_machine : steps:int -> t
+(** Table-driven finite state machine: the transition table lives in memory
+    and each step loads [table\[state * 2 + symbol\]] — data-dependent
+    addresses, the pattern that defeats static data-cache classification. *)
+
+val registry : (string * (unit -> t)) list
+(** Canonical instances of every workload, by name — the set the CLI and
+    the experiment suite draw from. *)
+
+val find : string -> t
+(** Instantiate a registered workload. @raise Not_found for unknown names. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations (for small exhaustive input sets). *)
+
+val array_input : ?regs:(Reg.t * int) list -> int list -> Exec.input
+(** Input placing the given values at {!data_base}. *)

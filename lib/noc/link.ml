@@ -1,0 +1,36 @@
+type t = {
+  policy : Arbiter.Arbitration.policy;
+  clients : int;
+}
+
+let make ~policy ~clients = { policy; clients }
+let policy t = t.policy
+
+let run t requests = Arbiter.Arbitration.simulate t.policy ~clients:t.clients requests
+
+let client_schedule served ~client =
+  List.filter_map
+    (fun s ->
+       if s.Arbiter.Arbitration.request.Arbiter.Arbitration.client = client
+       then Some (s.Arbiter.Arbitration.start, s.Arbiter.Arbitration.finish)
+       else None)
+    served
+
+let client_latencies served ~client =
+  List.filter_map
+    (fun s ->
+       if s.Arbiter.Arbitration.request.Arbiter.Arbitration.client = client
+       then Some (Arbiter.Arbitration.latency s)
+       else None)
+    served
+
+let composable t ~victim ~co_runners_a ~co_runners_b =
+  let victim_client =
+    match victim with
+    | [] -> invalid_arg "Link.composable: empty victim workload"
+    | r :: _ -> r.Arbiter.Arbitration.client
+  in
+  let schedule others =
+    client_schedule (run t (victim @ others)) ~client:victim_client
+  in
+  schedule co_runners_a = schedule co_runners_b

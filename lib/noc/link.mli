@@ -1,0 +1,26 @@
+(** A shared interconnect link in the CoMPSoC style: processing tiles issue
+    memory transactions through one arbitrated link.
+
+    CoMPSoC's claim (Table 1, row 4): with TDM arbitration the platform is
+    {e composable} — the observable timing of one application is bit-identical
+    no matter what the other applications do — whereas conventional
+    arbitration (FCFS/RR) only mixes applications' timings together. *)
+
+type t
+
+val make : policy:Arbiter.Arbitration.policy -> clients:int -> t
+val policy : t -> Arbiter.Arbitration.policy
+
+val run : t -> Arbiter.Arbitration.request list -> Arbiter.Arbitration.served list
+
+val client_schedule : Arbiter.Arbitration.served list -> client:int -> (int * int) list
+(** [(start, finish)] of each of this client's transactions, in order. *)
+
+val client_latencies : Arbiter.Arbitration.served list -> client:int -> int list
+
+val composable :
+  t -> victim:Arbiter.Arbitration.request list ->
+  co_runners_a:Arbiter.Arbitration.request list ->
+  co_runners_b:Arbiter.Arbitration.request list -> bool
+(** Whether the victim's transaction schedule is identical under the two
+    co-runner workloads — the executable form of CoMPSoC's composability. *)

@@ -1,0 +1,52 @@
+type result = {
+  per_thread_cycles : int list;
+  total_cycles : int;
+}
+
+let spm_access_cost = 1
+
+let event_cost (ev : Isa.Exec.event) =
+  Latency.base ~operand:ev.operand ev.ins
+  + (match ev.addr with Some _ -> spm_access_cost | None -> 0)
+
+let run ~threads =
+  if threads = [] then invalid_arg "Interleaved.run: no threads";
+  let n = List.length threads in
+  let remaining =
+    Array.of_list
+      (List.map
+         (fun outcome -> List.map event_cost (Array.to_list outcome.Isa.Exec.trace))
+         threads)
+  in
+  (* Slots still owed to the instruction in progress, per thread. *)
+  let owed = Array.make n 0 in
+  let done_at = Array.make n 0 in
+  let unfinished = ref n in
+  let cycle = ref 0 in
+  let mark_done_if_finished t =
+    if owed.(t) = 0 && remaining.(t) = [] && done_at.(t) = 0 then begin
+      done_at.(t) <- !cycle + 1;
+      decr unfinished
+    end
+  in
+  while !unfinished > 0 do
+    let t = !cycle mod n in
+    if owed.(t) > 0 then begin
+      owed.(t) <- owed.(t) - 1;
+      mark_done_if_finished t
+    end
+    else begin
+      match remaining.(t) with
+      | [] -> ()  (* thread already finished; its slot idles *)
+      | cost :: rest ->
+        remaining.(t) <- rest;
+        owed.(t) <- cost - 1;
+        mark_done_if_finished t
+    end;
+    incr cycle
+  done;
+  { per_thread_cycles = Array.to_list done_at;
+    total_cycles = Array.fold_left Stdlib.max 0 done_at }
+
+let solo_time outcome =
+  Prelude.Listx.sum (List.map event_cost (Array.to_list outcome.Isa.Exec.trace))

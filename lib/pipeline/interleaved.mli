@@ -1,0 +1,20 @@
+(** PRET-style thread-interleaved pipeline (Lickly et al.): hardware threads
+    own statically interleaved pipeline slots, so a thread's timing depends
+    only on its own instruction stream — co-running threads share no state.
+    Per-thread latency is sacrificed (each thread advances once per rotation)
+    for constant, context-independent instruction timing. *)
+
+type result = {
+  per_thread_cycles : int list;  (** completion cycle of each thread *)
+  total_cycles : int;
+}
+
+val run : threads:Isa.Exec.outcome list -> result
+(** Simulate the slot rotation over the given dynamic streams (slot count =
+    number of threads). Memory is a scratchpad with fixed 1-cycle access.
+    @raise Invalid_argument on an empty thread list. *)
+
+val solo_time : Isa.Exec.outcome -> int
+(** Time of the same stream on a dedicated (non-interleaved) single-thread
+    pipeline with the same latency model, for the throughput-sacrifice
+    comparison. *)

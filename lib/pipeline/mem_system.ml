@@ -1,0 +1,49 @@
+type level =
+  | Flat of int
+  | Cached of { cache : Cache.Set_assoc.t; hit : int; miss : int }
+  | Spm of { spm : Cache.Scratchpad.t; hit : int; backing : int }
+
+type t = {
+  imem : level;
+  dmem : level;
+}
+
+let perfect = { imem = Flat 1; dmem = Flat 1 }
+
+let access_level level addr =
+  match level with
+  | Flat lat -> (lat, level)
+  | Cached { cache; hit; miss } ->
+    let was_hit, cache' = Cache.Set_assoc.access cache addr in
+    ((if was_hit then hit else miss), Cached { cache = cache'; hit; miss })
+  | Spm { spm; hit; backing } ->
+    ((if Cache.Scratchpad.contains spm addr then hit else backing), level)
+
+let fetch t addr =
+  let cycles, imem = access_level t.imem addr in
+  (cycles, { t with imem })
+
+let data t addr =
+  let cycles, dmem = access_level t.dmem addr in
+  (cycles, { t with dmem })
+
+let level_worst = function
+  | Flat lat -> lat
+  | Cached { miss; _ } -> miss
+  | Spm { hit; backing; _ } -> Stdlib.max hit backing
+
+let level_best = function
+  | Flat lat -> lat
+  | Cached { hit; _ } -> hit
+  | Spm { hit; backing; _ } -> Stdlib.min hit backing
+
+let level_equal a b =
+  match a, b with
+  | Flat x, Flat y -> x = y
+  | Cached a, Cached b ->
+    a.hit = b.hit && a.miss = b.miss && Cache.Set_assoc.equal a.cache b.cache
+  | Spm { spm = sa; hit = ha; backing = ba }, Spm { spm = sb; hit = hb; backing = bb } ->
+    sa = sb && ha = hb && ba = bb
+  | (Flat _ | Cached _ | Spm _), _ -> false
+
+let equal a b = level_equal a.imem b.imem && level_equal a.dmem b.dmem

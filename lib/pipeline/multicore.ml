@@ -1,0 +1,126 @@
+type bus_policy =
+  | Bus_tdm of { slot : int }
+  | Bus_fcfs
+  | Bus_rr
+
+let bus_policy_name = function
+  | Bus_tdm { slot } -> Printf.sprintf "TDM bus (slot=%d)" slot
+  | Bus_fcfs -> "FCFS bus"
+  | Bus_rr -> "round-robin bus"
+
+type step =
+  | Compute of int
+  | Mem
+
+type core_program = step list
+
+let of_outcome outcome =
+  let fuse (steps, compute) (ev : Isa.Exec.event) =
+    let base = Latency.base ~operand:ev.Isa.Exec.operand ev.Isa.Exec.ins in
+    match ev.Isa.Exec.addr with
+    | Some _ ->
+      (* Execution cost before the transaction, then the bus access. *)
+      (Mem :: Compute (compute + base) :: steps, 0)
+    | None -> (steps, compute + base)
+  in
+  let steps, leftover = Array.fold_left fuse ([], 0) outcome.Isa.Exec.trace in
+  let steps = if leftover > 0 then Compute leftover :: steps else steps in
+  List.rev steps
+
+type core_state =
+  | Computing of int         (* cycles left in the current Compute *)
+  | Requesting of int        (* request pending since the given cycle *)
+  | Served_until of int      (* transaction in service, done at cycle *)
+  | Finished
+
+let run ~policy ~service cores =
+  if cores = [] then invalid_arg "Multicore.run: no cores";
+  if service <= 0 then invalid_arg "Multicore.run: service must be positive";
+  (match policy with
+   | Bus_tdm { slot } when service > slot ->
+     invalid_arg "Multicore.run: TDM requires service <= slot"
+   | Bus_tdm _ | Bus_fcfs | Bus_rr -> ());
+  let n = List.length cores in
+  let remaining = Array.of_list cores in
+  let state = Array.make n (Computing 0) in
+  let completion = Array.make n 0 in
+  let bus_free_at = ref 0 in
+  let rr_pointer = ref 0 in
+  (* Pop the next step of core [i] into its state. *)
+  let advance i now =
+    match remaining.(i) with
+    | [] ->
+      state.(i) <- Finished;
+      if completion.(i) = 0 then completion.(i) <- now
+    | Compute c :: rest ->
+      remaining.(i) <- rest;
+      state.(i) <- Computing c
+    | Mem :: rest ->
+      remaining.(i) <- rest;
+      state.(i) <- Requesting now
+  in
+  let unfinished = ref n in
+  let now = ref 0 in
+  List.iteri (fun i _ -> advance i 0) cores;
+  Array.iter (fun s -> if s = Finished then decr unfinished) state;
+  let guard = ref 0 in
+  while !unfinished > 0 do
+    incr guard;
+    if !guard > 10_000_000 then failwith "Multicore.run: no progress";
+    let t = !now in
+    (* Grant the bus. *)
+    if !bus_free_at <= t then begin
+      let waiting =
+        List.filter (fun i -> match state.(i) with Requesting _ -> true | _ -> false)
+          (List.init n (fun i -> i))
+      in
+      let grant =
+        match policy, waiting with
+        | _, [] -> None
+        | Bus_tdm { slot }, _ ->
+          let owner = (t / slot) mod n in
+          if t mod slot = 0 && List.mem owner waiting then Some owner else None
+        | Bus_fcfs, _ ->
+          let since i = match state.(i) with Requesting s -> s | _ -> max_int in
+          Some (List.fold_left (fun best i -> if since i < since best then i else best)
+                  (List.nth waiting 0) waiting)
+        | Bus_rr, _ ->
+          let rec scan k =
+            if k = n then None
+            else begin
+              let c = (!rr_pointer + k) mod n in
+              if List.mem c waiting then begin
+                rr_pointer := (c + 1) mod n;
+                Some c
+              end
+              else scan (k + 1)
+            end
+          in
+          scan 0
+      in
+      match grant with
+      | Some i ->
+        bus_free_at := t + service;
+        state.(i) <- Served_until (t + service)
+      | None -> ()
+    end;
+    (* Advance the cores by one cycle. *)
+    Array.iteri
+      (fun i s ->
+         match s with
+         | Finished | Requesting _ -> ()
+         | Computing c ->
+           if c <= 1 then begin
+             advance i (t + 1);
+             if state.(i) = Finished then decr unfinished
+           end
+           else state.(i) <- Computing (c - 1)
+         | Served_until finish ->
+           if finish <= t + 1 then begin
+             advance i (t + 1);
+             if state.(i) = Finished then decr unfinished
+           end)
+      state;
+    incr now
+  done;
+  Array.to_list completion

@@ -1,0 +1,34 @@
+(** Multiple in-order cores sharing one memory bus — the "TDMA vs FCFS bus
+    arbitration" intuition from the paper's introduction, in closed loop:
+    each core's request times depend on its own progress, which depends on
+    earlier arbitration decisions, so this cannot be reduced to a fixed
+    request trace.
+
+    Under TDM the victim core's completion time is independent of what the
+    other cores run (slots go idle when unused); under FCFS or round-robin
+    it varies with the co-runners' memory traffic. *)
+
+type bus_policy =
+  | Bus_tdm of { slot : int }  (** one slot per core, non-work-conserving *)
+  | Bus_fcfs
+  | Bus_rr
+
+val bus_policy_name : bus_policy -> string
+
+type step =
+  | Compute of int  (** local execution, the given number of cycles *)
+  | Mem             (** one bus transaction (fixed service time) *)
+
+type core_program = step list
+
+val of_outcome : Isa.Exec.outcome -> core_program
+(** Derive a core's step list from a dynamic instruction trace: per-
+    instruction base latencies fused into [Compute] runs, loads/stores
+    becoming [Mem] transactions. *)
+
+val run :
+  policy:bus_policy -> service:int -> core_program list -> int list
+(** Completion cycle of each core. A core blocks on its [Mem] steps until
+    the bus serves it; the bus serves at most one core at a time, [service]
+    cycles per transaction (TDM requires [service <= slot]).
+    @raise Invalid_argument on an empty core list or non-positive service. *)

@@ -1,0 +1,181 @@
+type unit_id = U0 | U1
+
+type dispatch = Greedy | Alternate
+
+type op = {
+  klass : int;
+  deps : int list;
+}
+
+type kernel_config = {
+  latency : int -> unit_id -> int option;
+  dispatch : dispatch;
+}
+
+(* Shared scheduling core: operations arrive in order, one dispatch per
+   cycle; the dispatcher binds each operation to a unit at dispatch time.
+   Greedy binding minimises that operation's start time — locally optimal,
+   globally the source of domino behaviour. *)
+let schedule ~dispatch ~init:(busy0, busy1) ops =
+  let unit_free = [| busy0; busy1 |] in
+  let completions = Array.make (List.length ops) 0 in
+  let finish = ref 0 in
+  let flip = ref 0 in
+  List.iteri
+    (fun j (dispatch_time, deps, lat_of_unit) ->
+       let deps_ready =
+         List.fold_left
+           (fun acc d ->
+              if d >= 1 && j - d >= 0 then Stdlib.max acc completions.(j - d)
+              else acc)
+           0 deps
+       in
+       let start_on u =
+         match lat_of_unit u with
+         | None -> None
+         | Some lat ->
+           let idx = match u with U0 -> 0 | U1 -> 1 in
+           let start =
+             Stdlib.max dispatch_time (Stdlib.max deps_ready unit_free.(idx))
+           in
+           Some (start, lat, idx)
+       in
+       let candidates = List.filter_map start_on [ U0; U1 ] in
+       let chosen =
+         match dispatch, candidates with
+         | _, [] -> invalid_arg "Ooo.schedule: operation executable nowhere"
+         | _, [ only ] -> only
+         | Greedy, (s0, l0, i0) :: (s1, l1, i1) :: _ ->
+           if s1 < s0 then (s1, l1, i1) else (s0, l0, i0)
+         | Alternate, (c0 : int * int * int) :: c1 :: _ ->
+           let pick = if !flip = 0 then c0 else c1 in
+           flip := 1 - !flip;
+           pick
+       in
+       let start, lat, idx = chosen in
+       unit_free.(idx) <- start + lat;
+       completions.(j) <- start + lat;
+       finish := Stdlib.max !finish (start + lat))
+    ops;
+  !finish
+
+let run_kernel config ~iteration ~n ~init =
+  if n < 0 then invalid_arg "Ooo.run_kernel: n must be >= 0";
+  let stream =
+    List.concat (List.init n (fun _ -> iteration))
+  in
+  let ops =
+    List.mapi
+      (fun j op -> (j, op.deps, fun u -> config.latency op.klass u))
+      stream
+  in
+  schedule ~dispatch:config.dispatch ~init ops
+
+type trace_config = {
+  mem : Mem_system.t;
+  virtual_traces : bool;
+  constant_ops : bool;
+  policy : dispatch;
+}
+
+let trace_config ?(mem = Mem_system.perfect) ?(virtual_traces = false)
+    ?(constant_ops = false) ?(policy = Greedy) () =
+  { mem; virtual_traces; constant_ops; policy }
+
+type result = {
+  cycles : int;
+  final_mem : Mem_system.t;
+}
+
+(* ISA operations map to the asymmetric units as follows: U0 is the simple
+   integer unit (no multiply/divide); U1 is the complex unit executing
+   everything. Simple ops are one cycle faster on U0. *)
+let isa_latencies config mem_cost (ev : Isa.Exec.event) u =
+  let base =
+    if config.constant_ops then Latency.base_worst ev.ins
+    else Latency.base ~operand:ev.operand ev.ins
+  in
+  let total = base + mem_cost in
+  match ev.ins, u with
+  | (Isa.Instr.Mul _ | Isa.Instr.Div _), U0 -> None
+  | (Isa.Instr.Mul _ | Isa.Instr.Div _), U1 -> Some total
+  | _, U0 -> Some total
+  | _, U1 -> Some (total + 1)
+
+let run_trace config ~init:(busy0, busy1) program outcome =
+  (* Whitham's virtual traces reset the pipeline whenever a trace is
+     entered, including at program entry: in that mode the initial pipeline
+     occupancy is flushed before the first instruction. *)
+  let unit_free =
+    if config.virtual_traces then [| 0; 0 |] else [| busy0; busy1 |]
+  in
+  let reg_ready = Array.make Isa.Reg.count 0 in
+  let finish = ref 0 in
+  let dispatch_time = ref 0 in
+  let mem = ref config.mem in
+  let flip = ref 0 in
+  let issue (ev : Isa.Exec.event) =
+    let fetch_cost, mem' =
+      Mem_system.fetch !mem (Isa.Program.instr_address program ev.pc)
+    in
+    mem := mem';
+    let data_cost, mem' =
+      match ev.addr with
+      | Some addr -> Mem_system.data !mem addr
+      | None -> (0, !mem)
+    in
+    mem := mem';
+    dispatch_time := !dispatch_time + fetch_cost;
+    let deps_ready =
+      List.fold_left
+        (fun acc r -> Stdlib.max acc reg_ready.(Isa.Reg.index r))
+        0 (Isa.Instr.uses ev.ins)
+    in
+    let start_on u =
+      match isa_latencies config data_cost ev u with
+      | None -> None
+      | Some lat ->
+        let idx = match u with U0 -> 0 | U1 -> 1 in
+        let start =
+          Stdlib.max !dispatch_time (Stdlib.max deps_ready unit_free.(idx))
+        in
+        Some (start, lat, idx)
+    in
+    let candidates = List.filter_map start_on [ U0; U1 ] in
+    let start, lat, idx =
+      match config.policy, candidates with
+      | _, [] -> assert false  (* U1 executes everything *)
+      | _, [ only ] -> only
+      | Greedy, (s0, l0, i0) :: (s1, l1, i1) :: _ ->
+        if s1 < s0 then (s1, l1, i1) else (s0, l0, i0)
+      | Alternate, c0 :: c1 :: _ ->
+        let pick = if !flip = 0 then c0 else c1 in
+        flip := 1 - !flip;
+        pick
+    in
+    let completion = start + lat in
+    unit_free.(idx) <- completion;
+    List.iter
+      (fun r -> reg_ready.(Isa.Reg.index r) <- completion)
+      (Isa.Instr.defs ev.ins);
+    finish := Stdlib.max !finish completion;
+    if Isa.Instr.is_control ev.ins then begin
+      (* Control resolves before the next fetch. *)
+      dispatch_time := Stdlib.max !dispatch_time completion;
+      if config.virtual_traces then begin
+        let drained =
+          Stdlib.max !dispatch_time (Stdlib.max unit_free.(0) unit_free.(1))
+        in
+        dispatch_time := drained;
+        unit_free.(0) <- drained;
+        unit_free.(1) <- drained;
+        Array.iteri (fun i v -> reg_ready.(i) <- Stdlib.min v drained) reg_ready
+      end
+    end
+  in
+  Array.iter issue outcome.Isa.Exec.trace;
+  { cycles = Stdlib.max !finish !dispatch_time; final_mem = !mem }
+
+let time config ~init program input =
+  let outcome = Isa.Exec.run program input in
+  (run_trace config ~init program outcome).cycles

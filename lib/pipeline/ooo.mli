@@ -1,0 +1,67 @@
+(** Dual-issue machine with two asymmetric execution units and a greedy
+    in-order dispatcher — the PowerPC-755-style organisation in which
+    Schneider found the domino effect cited by the paper (Section 2.2).
+
+    Two modes:
+
+    - {b Kernel mode} ({!run_kernel}): abstract operation streams over
+      operation classes with per-unit latencies. This is where the domino
+      kernel reproducing Equation 4 ([9n+1] vs [12n]) lives — the dispatch
+      decision made in one iteration recreates the very pipeline state that
+      forces the same (good or bad) decision in the next.
+
+    - {b Trace mode} ({!run_trace}): times real ISA traces, with an optional
+      Whitham-style virtual-trace execution mode (drain the units at every
+      basic-block boundary and force worst-case latencies on variable-latency
+      units), which removes state-induced variability at a throughput cost. *)
+
+type unit_id = U0 | U1
+
+type dispatch = Greedy | Alternate
+(** [Greedy] picks the unit that can start the operation earliest (ties to
+    [U0]) — the policy that enables domino effects. [Alternate] is the
+    round-robin ablation. *)
+
+(** {1 Kernel mode} *)
+
+type op = {
+  klass : int;
+  deps : int list;  (** backward distances in the dynamic stream (1 = the
+                        immediately preceding operation) *)
+}
+
+type kernel_config = {
+  latency : int -> unit_id -> int option;
+      (** per-class, per-unit latency; [None] = class cannot execute there *)
+  dispatch : dispatch;
+}
+
+val run_kernel :
+  kernel_config -> iteration:op list -> n:int -> init:int * int -> int
+(** Execution time of [n] unrolled iterations starting with the units busy
+    for [(busy0, busy1)] more cycles. Loop-carried dependences reach across
+    iteration boundaries via [deps]. *)
+
+(** {1 Trace mode} *)
+
+type trace_config = {
+  mem : Mem_system.t;
+  virtual_traces : bool;  (** drain at basic-block boundaries *)
+  constant_ops : bool;    (** force worst-case latencies (Whitham) *)
+  policy : dispatch;
+}
+
+val trace_config :
+  ?mem:Mem_system.t -> ?virtual_traces:bool -> ?constant_ops:bool ->
+  ?policy:dispatch -> unit -> trace_config
+
+type result = {
+  cycles : int;
+  final_mem : Mem_system.t;
+}
+
+val run_trace :
+  trace_config -> init:int * int -> Isa.Program.t -> Isa.Exec.outcome -> result
+
+val time :
+  trace_config -> init:int * int -> Isa.Program.t -> Isa.Exec.input -> int

@@ -1,0 +1,70 @@
+type config = {
+  width : int;
+  regulate : bool;
+}
+
+type init = (Isa.Reg.t * int) list
+
+type result = {
+  cycles : int;
+  entry_signatures : int list list;
+}
+
+let run config ~init outcome =
+  if config.width < 1 then invalid_arg "Superscalar.run: width must be >= 1";
+  let ready = Array.make Isa.Reg.count 0 in
+  List.iter (fun (r, c) -> ready.(Isa.Reg.index r) <- c) init;
+  let now = ref 0 in          (* current issue cycle *)
+  let issued_this_cycle = ref 0 in
+  let last_completion = ref 0 in
+  let signatures = ref [] in
+  let signature_at cycle =
+    let outstanding =
+      Array.to_list ready
+      |> List.filter_map (fun t -> if t > cycle then Some (t - cycle) else None)
+      |> List.sort Stdlib.compare
+    in
+    outstanding
+  in
+  let drain () =
+    let all_ready = Array.fold_left Stdlib.max !now ready in
+    now := all_ready;
+    issued_this_cycle := 0
+  in
+  let issue (ev : Isa.Exec.event) =
+    let operands_ready =
+      List.fold_left
+        (fun acc r -> Stdlib.max acc ready.(Isa.Reg.index r))
+        0 (Isa.Instr.uses ev.ins)
+    in
+    let cycle = Stdlib.max !now operands_ready in
+    let cycle =
+      if cycle > !now then begin now := cycle; issued_this_cycle := 0; cycle end
+      else cycle
+    in
+    if !issued_this_cycle >= config.width then begin
+      now := cycle + 1;
+      issued_this_cycle := 0
+    end;
+    let cycle = !now in
+    incr issued_this_cycle;
+    let lat = Latency.base ~operand:ev.operand ev.ins in
+    let completion = cycle + lat in
+    List.iter (fun r -> ready.(Isa.Reg.index r) <- completion) (Isa.Instr.defs ev.ins);
+    last_completion := Stdlib.max !last_completion completion;
+    (* Control transfers serialise the front end: the next instruction is
+       fetched only once the branch resolves. *)
+    if Isa.Instr.is_control ev.ins then begin
+      now := completion;
+      issued_this_cycle := 0;
+      if config.regulate then drain ();
+      signatures := signature_at !now :: !signatures
+    end
+  in
+  Array.iter issue outcome.Isa.Exec.trace;
+  { cycles = Stdlib.max !last_completion !now;
+    entry_signatures = List.rev !signatures }
+
+let distinct_entry_signatures results =
+  let all = List.concat_map (fun r -> r.entry_signatures) results in
+  List.length (Prelude.Listx.uniq Stdlib.compare all)

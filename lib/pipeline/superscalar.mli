@@ -1,0 +1,34 @@
+(** Two-wide in-order superscalar pipeline with an optional Rochange-Sainrat
+    time-predictable execution mode.
+
+    Without regulation, the latencies of in-flight instructions carry timing
+    effects across basic-block boundaries, so a WCET analysis must track
+    pipeline states at block entries. With [regulate = true] the instruction
+    flow is stalled at every basic-block boundary until the pipeline drains:
+    block timings become independent and the analysis can work per-block —
+    the pipeline-state signature at every block entry is empty. *)
+
+type config = {
+  width : int;     (** issue width (the experiments use 2) *)
+  regulate : bool; (** drain the pipeline at basic-block boundaries *)
+}
+
+type init = (Isa.Reg.t * int) list
+(** Initial pipeline occupancy: registers whose producing instruction is
+    still in flight, with cycles-until-ready — the uncertainty set [Q] of
+    this model. *)
+
+type result = {
+  cycles : int;
+  entry_signatures : int list list;
+      (** pipeline-state signature (sorted outstanding latencies) observed at
+          each basic-block entry; distinct signatures are what a pipeline
+          analysis would have to enumerate *)
+}
+
+val run : config -> init:init -> Isa.Exec.outcome -> result
+
+val distinct_entry_signatures : result list -> int
+(** Number of distinct block-entry pipeline states across runs: a proxy for
+    the state count an analysis must consider ("computation and/or memory
+    requirements to analyse the WCET", Rochange-Sainrat). *)

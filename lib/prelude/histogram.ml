@@ -1,0 +1,52 @@
+type t = {
+  lo : int;
+  hi : int;
+  width : int;          (* bin width *)
+  counts : int array;
+  total : int;
+}
+
+let of_samples ~bins samples =
+  if bins <= 0 then invalid_arg "Histogram.of_samples: bins must be positive";
+  match samples with
+  | [] -> invalid_arg "Histogram.of_samples: empty sample list"
+  | first :: rest ->
+    let lo = List.fold_left Stdlib.min first rest in
+    let hi = List.fold_left Stdlib.max first rest in
+    let span = hi - lo + 1 in
+    let width = (span + bins - 1) / bins in
+    let counts = Array.make bins 0 in
+    let add x =
+      let idx = Stdlib.min (bins - 1) ((x - lo) / width) in
+      counts.(idx) <- counts.(idx) + 1
+    in
+    List.iter add samples;
+    { lo; hi; width; counts; total = List.length samples }
+
+let bins t =
+  Array.to_list
+    (Array.mapi
+       (fun i c -> (t.lo + (i * t.width), t.lo + ((i + 1) * t.width) - 1, c))
+       t.counts)
+
+let total t = t.total
+let min_sample t = t.lo
+let max_sample t = t.hi
+
+let render ?(width = 40) ?(markers = []) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  let bar count =
+    let len = count * width / peak in
+    String.make len '#'
+  in
+  List.iter
+    (fun (lo, hi, count) ->
+       Buffer.add_string buf
+         (Printf.sprintf "%6d..%6d | %-*s %d\n" lo hi width (bar count) count))
+    (bins t);
+  List.iter
+    (fun (name, x) ->
+       Buffer.add_string buf (Printf.sprintf "%-6s = %d\n" name x))
+    markers;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Fixed-width binning of integer samples, with a text rendering used to
+    regenerate Figure 1 of the paper (distribution of execution times). *)
+
+type t
+
+val of_samples : bins:int -> int list -> t
+(** [of_samples ~bins samples] bins the samples into [bins] equal-width
+    buckets spanning [min samples, max samples].
+    @raise Invalid_argument if [samples] is empty or [bins <= 0]. *)
+
+val bins : t -> (int * int * int) list
+(** [(lo, hi, count)] per bin; [lo] inclusive, [hi] inclusive. *)
+
+val total : t -> int
+val min_sample : t -> int
+val max_sample : t -> int
+
+val render : ?width:int -> ?markers:(string * int) list -> t -> string
+(** ASCII rendering, one bin per line, bars scaled to [width] (default 40).
+    [markers] annotate specific x-values (e.g. BCET/WCET/LB/UB) below the
+    histogram. *)

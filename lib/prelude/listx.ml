@@ -1,0 +1,26 @@
+let range lo hi = if hi <= lo then [] else List.init (hi - lo) (fun i -> lo + i)
+
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let pairs xs = cartesian xs xs
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let uniq cmp xs =
+  let sorted = List.sort cmp xs in
+  let rec dedup = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: y :: rest -> if cmp x y = 0 then dedup (y :: rest) else x :: dedup (y :: rest)
+  in
+  dedup sorted
+
+let sum = List.fold_left ( + ) 0
+
+let rec transpose = function
+  | [] -> []
+  | [] :: _ -> []
+  | rows -> List.map List.hd rows :: transpose (List.map List.tl rows)

@@ -1,0 +1,17 @@
+(** Small list utilities shared across the repository. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [lo; lo+1; ...; hi-1] (empty when [hi <= lo]). *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+val pairs : 'a list -> ('a * 'a) list
+(** All ordered pairs (including [(x, x)]) of elements of the list. *)
+
+val take : int -> 'a list -> 'a list
+val uniq : ('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort and deduplicate under the given comparison. *)
+
+val sum : int list -> int
+val transpose : 'a list list -> 'a list list
+(** Transpose of a rectangular list of lists. *)

@@ -1,0 +1,44 @@
+type t = { n : int; d : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else begin
+    let sign = if den < 0 then -1 else 1 in
+    let num = sign * num and den = sign * den in
+    let g = gcd (abs num) den in
+    if g = 0 then { n = 0; d = 1 } else { n = num / g; d = den / g }
+  end
+
+let of_int n = { n; d = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num t = t.n
+let den t = t.d
+let add a b = make ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
+let sub a b = make ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
+let mul a b = make (a.n * b.n) (a.d * b.d)
+let div a b = if b.n = 0 then raise Division_by_zero else make (a.n * b.d) (a.d * b.n)
+let neg a = { a with n = -a.n }
+let inv a = if a.n = 0 then raise Division_by_zero else make a.d a.n
+let compare a b = Stdlib.compare (a.n * b.d) (b.n * a.d)
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) = equal
+let to_float a = float_of_int a.n /. float_of_int a.d
+
+let pp ppf a =
+  if Int.equal a.d 1 then Format.fprintf ppf "%d" a.n
+  else Format.fprintf ppf "%d/%d" a.n a.d
+
+let to_string a = Format.asprintf "%a" pp a

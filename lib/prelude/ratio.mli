@@ -1,0 +1,49 @@
+(** Exact rational arithmetic over native integers.
+
+    Cycle counts and their quotients in predictability computations are small,
+    so native [int] numerators/denominators (with systematic normalisation)
+    suffice; this avoids a dependency on an arbitrary-precision library. All
+    values are kept in lowest terms with a positive denominator. *)
+
+type t
+
+val make : int -> int -> t
+(** [make num den] is the rational [num/den] in lowest terms.
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on [zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+
+(* splitmix64 core step: good statistical quality, trivially seedable. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                       (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t bound =
+  let mantissa = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  bound *. (float_of_int mantissa /. 9007199254740992.0)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let tagged = List.map (fun x -> (int t 1073741823, x)) items in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) tagged)
+
+let split t = { state = next t }

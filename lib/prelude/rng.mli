@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Experiments must be reproducible run-to-run, so all randomness in the
+    repository flows through explicitly seeded generators. *)
+
+type t
+
+val make : int -> t
+(** [make seed] is a fresh generator; equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+
+val pick : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list. @raise Invalid_argument on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)

@@ -1,0 +1,45 @@
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+let summarize samples =
+  match samples with
+  | [] -> invalid_arg "Stats.summarize: empty sample list"
+  | _ :: _ ->
+    let sorted = List.sort Float.compare samples in
+    let count = List.length sorted in
+    let total = List.fold_left ( +. ) 0. sorted in
+    let mean = total /. float_of_int count in
+    let sq_dev x = (x -. mean) *. (x -. mean) in
+    let var = List.fold_left (fun acc x -> acc +. sq_dev x) 0. sorted in
+    let stddev = sqrt (var /. float_of_int count) in
+    let median =
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      if n mod 2 = 1 then arr.(n / 2)
+      else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+    in
+    { count; min = List.nth sorted 0; max = List.nth sorted (count - 1);
+      mean; stddev; median }
+
+let summarize_ints samples = summarize (List.map float_of_int samples)
+
+let min_int_list = function
+  | [] -> invalid_arg "Stats.min_int_list: empty list"
+  | x :: rest -> List.fold_left Stdlib.min x rest
+
+let max_int_list = function
+  | [] -> invalid_arg "Stats.max_int_list: empty list"
+  | x :: rest -> List.fold_left Stdlib.max x rest
+
+let coefficient_of_variation s = if s.mean = 0. then 0. else s.stddev /. s.mean
+let spread s = s.max -. s.min
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%.1f max=%.1f mean=%.2f sd=%.2f med=%.1f"
+    s.count s.min s.max s.mean s.stddev s.median

@@ -1,0 +1,29 @@
+(** Descriptive statistics over observed samples (e.g. execution times). *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val summarize_ints : int list -> summary
+
+val min_int_list : int list -> int
+(** @raise Invalid_argument on the empty list. *)
+
+val max_int_list : int list -> int
+(** @raise Invalid_argument on the empty list. *)
+
+val coefficient_of_variation : summary -> float
+(** [stddev / mean]; zero variability means a perfectly repeatable quantity. *)
+
+val spread : summary -> float
+(** [max - min]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

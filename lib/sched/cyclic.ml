@@ -1,0 +1,50 @@
+type window = {
+  task : Task.t;
+  release : int;
+  start : int;
+}
+
+type table = {
+  tasks : Task.t list;
+  windows : window list;
+}
+
+exception Infeasible of string
+
+let build tasks =
+  let jobs = Task.jobs_in_hyperperiod tasks in
+  let place (cursor, acc) (task, release) =
+    let start = Stdlib.max cursor release in
+    let finish = start + task.Task.wcet in
+    if finish > release + task.Task.period then
+      raise
+        (Infeasible
+           (Printf.sprintf "job of %S released at %d cannot finish by %d"
+              task.Task.name release (release + task.Task.period)))
+    else (finish, { task; release; start } :: acc)
+  in
+  let _, windows = List.fold_left place (0, []) jobs in
+  { tasks; windows = List.rev windows }
+
+let windows table = table.windows
+
+let responses table scenario =
+  let job_counter = Hashtbl.create 8 in
+  let response w =
+    let index =
+      match Hashtbl.find_opt job_counter w.task.Task.name with
+      | Some n -> n
+      | None -> 0
+    in
+    Hashtbl.replace job_counter w.task.Task.name (index + 1);
+    let demand = Task.clamp_demand w.task (scenario w.task ~job_index:index) in
+    (w.task.Task.name, (w.start + demand) - w.release)
+  in
+  let all = List.map response table.windows in
+  List.map
+    (fun t ->
+       (t.Task.name,
+        List.filter_map
+          (fun (name, r) -> if name = t.Task.name then Some r else None)
+          all))
+    table.tasks

@@ -1,0 +1,28 @@
+(** Static cyclic executive: a time-table built offline from WCET
+    reservations. Each job owns a fixed window; at run time it executes
+    inside its window and the unused reservation idles. A job's response
+    time therefore depends only on its {e own} demand — the other tasks'
+    behaviour is not a source of uncertainty, by construction. *)
+
+type window = {
+  task : Task.t;
+  release : int;
+  start : int;   (** window start (fixed at design time) *)
+}
+
+type table
+
+exception Infeasible of string
+(** Raised when some job's WCET reservation cannot be placed before its
+    deadline. *)
+
+val build : Task.t list -> table
+(** Greedy chronological table construction over one hyperperiod.
+    @raise Infeasible when the reservations do not fit. *)
+
+val windows : table -> window list
+
+val responses : table -> Task.scenario -> (string * int list) list
+(** Per task: the response time of each of its jobs in the hyperperiod under
+    the given demand scenario (completion - release; the job completes at
+    [window.start + demand]). *)

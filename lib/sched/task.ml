@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  period : int;
+  bcet : int;
+  wcet : int;
+  priority : int;
+}
+
+let make ~name ~period ~bcet ~wcet ~priority =
+  if bcet <= 0 || wcet < bcet || wcet > period then
+    invalid_arg "Task.make: need 0 < bcet <= wcet <= period";
+  { name; period; bcet; wcet; priority }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let hyperperiod = function
+  | [] -> invalid_arg "Task.hyperperiod: empty task set"
+  | first :: rest -> List.fold_left (fun acc t -> lcm acc t.period) first.period rest
+
+let jobs_in_hyperperiod tasks =
+  let horizon = hyperperiod tasks in
+  let releases =
+    List.concat_map
+      (fun t ->
+         List.init (horizon / t.period) (fun k -> (t, k * t.period)))
+      tasks
+  in
+  List.sort
+    (fun (ta, ra) (tb, rb) -> Stdlib.compare (ra, ta.priority) (rb, tb.priority))
+    releases
+
+type scenario = t -> job_index:int -> int
+
+let clamp_demand t demand = Stdlib.max t.bcet (Stdlib.min t.wcet demand)
+
+let all_bcet t ~job_index = ignore job_index; t.bcet
+let all_wcet t ~job_index = ignore job_index; t.wcet
+
+let random_demand ~seed t ~job_index =
+  (* Deterministic per (task, job): hash name/job into the demand range. *)
+  let rng = Prelude.Rng.make (seed + (Hashtbl.hash (t.name, job_index) land 0xffff)) in
+  t.bcet + Prelude.Rng.int rng (t.wcet - t.bcet + 1)

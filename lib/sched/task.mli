@@ -1,0 +1,33 @@
+(** Periodic real-time tasks for the scheduling experiments.
+
+    The paper's introduction lists "static vs dynamic preemptive scheduling"
+    among the classic predictability intuitions; the property here is a
+    task's response time, and the uncertainty source is the execution demand
+    of the {e other} tasks. *)
+
+type t = {
+  name : string;
+  period : int;     (** release period; the deadline is implicit = period *)
+  bcet : int;       (** minimal execution demand per job *)
+  wcet : int;       (** maximal execution demand per job *)
+  priority : int;   (** smaller = more important (fixed-priority) *)
+}
+
+val make :
+  name:string -> period:int -> bcet:int -> wcet:int -> priority:int -> t
+(** @raise Invalid_argument unless [0 < bcet <= wcet <= period]. *)
+
+val hyperperiod : t list -> int
+(** Least common multiple of the periods. @raise Invalid_argument on []. *)
+
+val jobs_in_hyperperiod : t list -> (t * int) list
+(** Every [(task, release_time)] job in one hyperperiod, sorted by release
+    time, ties broken by priority. *)
+
+type scenario = t -> job_index:int -> int
+(** Actual execution demand of each job, in [bcet, wcet]. *)
+
+val all_bcet : scenario
+val all_wcet : scenario
+val random_demand : seed:int -> scenario
+val clamp_demand : t -> int -> int

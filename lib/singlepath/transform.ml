@@ -1,0 +1,147 @@
+exception Unsupported of string
+
+let max_writes = 2
+
+let predicate_reg = Isa.Reg.r15
+let predicate_scratch = Isa.Reg.r10
+let then_temps = [ Isa.Reg.r10; Isa.Reg.r11 ]
+let else_temps = [ Isa.Reg.r12; Isa.Reg.r13 ]
+
+let scratch_registers =
+  [ Isa.Reg.r10; Isa.Reg.r11; Isa.Reg.r12; Isa.Reg.r13; Isa.Reg.r15 ]
+
+let is_scratch r = List.exists (Isa.Reg.equal r) scratch_registers
+
+(* Straight-line code only: the result of recursively transforming an arm. *)
+let rec flatten = function
+  | Isa.Ast.Block instrs -> instrs
+  | Isa.Ast.Seq nodes -> List.concat_map flatten nodes
+  | Isa.Ast.If _ | Isa.Ast.Loop _ | Isa.Ast.While _ | Isa.Ast.Call _ ->
+    raise (Unsupported "if-arm contains control flow after transformation")
+
+let check_predicable instrs =
+  let ok ins =
+    match ins with
+    | Isa.Instr.Nop | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Li _
+    | Isa.Instr.Mul _ | Isa.Instr.Div _ | Isa.Instr.Ld _ | Isa.Instr.Sel _ ->
+      true
+    | Isa.Instr.St _ | Isa.Instr.Br _ | Isa.Instr.Jmp _ | Isa.Instr.Call _
+    | Isa.Instr.Ret | Isa.Instr.Halt -> false
+  in
+  match List.find_opt (fun ins -> not (ok ins)) instrs with
+  | None -> ()
+  | Some ins ->
+    raise (Unsupported
+             (Format.asprintf "instruction not predicable: %a" Isa.Instr.pp ins))
+
+let written_registers instrs =
+  let defs = List.concat_map Isa.Instr.defs instrs in
+  (* Arms writing scratch registers would clobber the predicate or the
+     rename temporaries of an enclosing conversion; rejecting them also
+     rejects nested if-conversions, which this scheme does not support
+     (rewrite nested ifs as sequential ifs instead). *)
+  if List.exists is_scratch defs then
+    raise (Unsupported "if-arm writes a scratch register (nested if?)");
+  Prelude.Listx.uniq Isa.Reg.compare defs
+
+let rename_reg mapping r =
+  match List.find_opt (fun (from, _) -> Isa.Reg.equal from r) mapping with
+  | Some (_, to_) -> to_
+  | None -> r
+
+let rename_instr mapping ins =
+  let f = rename_reg mapping in
+  match ins with
+  | Isa.Instr.Nop -> Isa.Instr.Nop
+  | Isa.Instr.Alu (op, rd, ra, rb) -> Isa.Instr.Alu (op, f rd, f ra, f rb)
+  | Isa.Instr.Alui (op, rd, ra, imm) -> Isa.Instr.Alui (op, f rd, f ra, imm)
+  | Isa.Instr.Li (rd, imm) -> Isa.Instr.Li (f rd, imm)
+  | Isa.Instr.Mul (rd, ra, rb) -> Isa.Instr.Mul (f rd, f ra, f rb)
+  | Isa.Instr.Div (rd, ra, rb) -> Isa.Instr.Div (f rd, f ra, f rb)
+  | Isa.Instr.Ld (rd, ra, off) -> Isa.Instr.Ld (f rd, f ra, off)
+  | Isa.Instr.Sel (rd, rc, ra, rb) -> Isa.Instr.Sel (f rd, f rc, f ra, f rb)
+  | Isa.Instr.St _ | Isa.Instr.Br _ | Isa.Instr.Jmp _ | Isa.Instr.Call _
+  | Isa.Instr.Ret | Isa.Instr.Halt ->
+    raise (Unsupported "rename_instr: control or store instruction")
+
+(* Materialise [cond] as 0/1 into the predicate register. *)
+let predicate_instrs (cond : Isa.Ast.cond) =
+  let open Isa.Instr in
+  if is_scratch cond.ra || is_scratch cond.rb then
+    raise (Unsupported "if-condition uses a scratch register");
+  match cond.cmp with
+  | Lt -> [ Alu (Slt, predicate_reg, cond.ra, cond.rb) ]
+  | Ge ->
+    [ Alu (Slt, predicate_reg, cond.ra, cond.rb);
+      Alui (Xor, predicate_reg, predicate_reg, 1) ]
+  | Ne ->
+    [ Alu (Slt, predicate_reg, cond.ra, cond.rb);
+      Alu (Slt, predicate_scratch, cond.rb, cond.ra);
+      Alu (Or, predicate_reg, predicate_reg, predicate_scratch) ]
+  | Eq ->
+    [ Alu (Slt, predicate_reg, cond.ra, cond.rb);
+      Alu (Slt, predicate_scratch, cond.rb, cond.ra);
+      Alu (Or, predicate_reg, predicate_reg, predicate_scratch);
+      Alui (Xor, predicate_reg, predicate_reg, 1) ]
+
+let convert_if cond then_node else_node =
+  let then_instrs = flatten then_node in
+  let else_instrs = flatten else_node in
+  check_predicable then_instrs;
+  check_predicable else_instrs;
+  let writes =
+    Prelude.Listx.uniq Isa.Reg.compare
+      (written_registers then_instrs @ written_registers else_instrs)
+  in
+  if List.length writes > max_writes then
+    raise (Unsupported
+             (Printf.sprintf "if writes %d registers (max %d)"
+                (List.length writes) max_writes));
+  let pair temps = List.combine (Prelude.Listx.take (List.length writes) temps) writes in
+  let then_map = List.map (fun (t, w) -> (w, t)) (pair then_temps) in
+  let else_map = List.map (fun (t, w) -> (w, t)) (pair else_temps) in
+  let copies mapping =
+    List.map (fun (w, t) -> Isa.Instr.Alu (Isa.Instr.Add, t, w, Isa.Ast.zero))
+      mapping
+  in
+  let selects =
+    List.map
+      (fun w ->
+         let t = rename_reg then_map w and e = rename_reg else_map w in
+         Isa.Instr.Sel (w, predicate_reg, t, e))
+      writes
+  in
+  Isa.Ast.Block
+    (predicate_instrs cond
+     @ copies then_map
+     @ List.map (rename_instr then_map) then_instrs
+     @ copies else_map
+     @ List.map (rename_instr else_map) else_instrs
+     @ selects)
+
+let rec transform_ast node =
+  match node with
+  | Isa.Ast.Block _ -> node
+  | Isa.Ast.Seq nodes -> Isa.Ast.Seq (List.map transform_ast nodes)
+  | Isa.Ast.If (cond, then_node, else_node) ->
+    convert_if cond (transform_ast then_node) (transform_ast else_node)
+  | Isa.Ast.Loop { count; counter; body } ->
+    Isa.Ast.Loop { count; counter; body = transform_ast body }
+  | Isa.Ast.While _ ->
+    raise (Unsupported "data-dependent while loop")
+  | Isa.Ast.Call _ ->
+    raise (Unsupported "call inside single-path fragment")
+
+let transform (w : Isa.Workload.t) =
+  let transform_func (f : Isa.Ast.func) =
+    { f with Isa.Ast.body = transform_ast f.Isa.Ast.body }
+  in
+  { w with
+    Isa.Workload.name = w.Isa.Workload.name ^ "_sp";
+    funcs = List.map transform_func w.Isa.Workload.funcs }
+
+let rec is_single_path = function
+  | Isa.Ast.Block _ | Isa.Ast.Call _ -> true
+  | Isa.Ast.Seq nodes -> List.for_all is_single_path nodes
+  | Isa.Ast.If _ | Isa.Ast.While _ -> false
+  | Isa.Ast.Loop { body; _ } -> is_single_path body

@@ -1,0 +1,32 @@
+(** The single-path paradigm (Puschner-Burns, Table 2, row 6): eliminate
+    input-dependent control flow by if-conversion, so that every execution
+    follows the same instruction sequence and the input-induced timing
+    variability (Def. 5) collapses to none — [IIPr = 1] on machines without
+    value-dependent latencies.
+
+    Scope: if-statements whose arms are (recursively) straight-line register
+    code writing at most {!max_writes} distinct non-scratch registers are
+    converted into predicated [Sel] code; counted loops are kept (their trip
+    count is already input-independent). Data-dependent [While] loops, calls,
+    stores inside arms, and wider write sets raise {!Unsupported} — the same
+    restrictions Puschner places on "temporally predictable code". *)
+
+exception Unsupported of string
+
+val max_writes : int
+(** Maximum distinct destination registers per converted if (2). *)
+
+val scratch_registers : Isa.Reg.t list
+(** Registers reserved by the transformation ([r10]-[r13], [r15]); source
+    programs must not use them. *)
+
+val transform_ast : Isa.Ast.t -> Isa.Ast.t
+(** @raise Unsupported when the program is outside the transformable
+    fragment. The result contains no [If] and no [While]. *)
+
+val transform : Isa.Workload.t -> Isa.Workload.t
+(** Transform a workload's functions; the result keeps the same inputs and
+    gets a ["_sp"]-suffixed name. *)
+
+val is_single_path : Isa.Ast.t -> bool
+(** No [If] or [While] anywhere in the tree. *)

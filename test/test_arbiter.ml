@@ -1,0 +1,275 @@
+(* Tests for the shared-resource arbitration: service correctness, policy
+   behaviours, bounds, and the composability property of TDM. *)
+
+let request client arrival service = { Arbiter.Arbitration.client; arrival; service }
+
+let latencies_of served ~client =
+  List.filter_map
+    (fun (s : Arbiter.Arbitration.served) ->
+       if s.request.Arbiter.Arbitration.client = client
+       then Some (Arbiter.Arbitration.latency s)
+       else None)
+    served
+
+let schedule_of served ~client =
+  List.filter_map
+    (fun (s : Arbiter.Arbitration.served) ->
+       if s.request.Arbiter.Arbitration.client = client
+       then Some (s.Arbiter.Arbitration.start, s.Arbiter.Arbitration.finish)
+       else None)
+    served
+
+let test_all_requests_served () =
+  let reqs =
+    [ request 0 0 3; request 1 1 3; request 2 2 3; request 0 10 3 ]
+  in
+  List.iter
+    (fun policy ->
+       let served = Arbiter.Arbitration.simulate policy ~clients:3 reqs in
+       Alcotest.(check int)
+         (Arbiter.Arbitration.policy_name policy ^ ": all served")
+         (List.length reqs) (List.length served))
+    [ Arbiter.Arbitration.Fcfs; Arbiter.Arbitration.Round_robin;
+      Arbiter.Arbitration.Fixed_priority;
+      Arbiter.Arbitration.Tdm { slot = 3 };
+      Arbiter.Arbitration.Ccsp { rate_num = 1; rate_den = 6; burst = 2 } ]
+
+let test_fcfs_order () =
+  let reqs = [ request 1 5 2; request 0 1 2; request 2 3 2 ] in
+  let served = Arbiter.Arbitration.simulate Arbiter.Arbitration.Fcfs ~clients:3 reqs in
+  let order =
+    List.map (fun (s : Arbiter.Arbitration.served) -> s.request.Arbiter.Arbitration.client)
+      served
+  in
+  Alcotest.(check (list int)) "earliest arrival first" [ 0; 2; 1 ] order
+
+let test_fixed_priority_preference () =
+  (* Both waiting when the resource frees: client 0 wins. *)
+  let reqs = [ request 2 0 4; request 0 1 2; request 1 1 2 ] in
+  let served =
+    Arbiter.Arbitration.simulate Arbiter.Arbitration.Fixed_priority ~clients:3 reqs
+  in
+  let order =
+    List.map (fun (s : Arbiter.Arbitration.served) -> s.request.Arbiter.Arbitration.client)
+      served
+  in
+  Alcotest.(check (list int)) "priority order after blocking" [ 2; 0; 1 ] order
+
+let test_no_overlap () =
+  let reqs =
+    List.concat_map
+      (fun c -> List.init 4 (fun i -> request c (i * 3) 2))
+      [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun policy ->
+       let served = Arbiter.Arbitration.simulate policy ~clients:3 reqs in
+       let sorted =
+         List.sort
+           (fun (a : Arbiter.Arbitration.served) b ->
+              Stdlib.compare a.Arbiter.Arbitration.start b.Arbiter.Arbitration.start)
+           served
+       in
+       let rec no_overlap = function
+         | [] | [ _ ] -> true
+         | (a : Arbiter.Arbitration.served) :: (b :: _ as rest) ->
+           a.Arbiter.Arbitration.finish <= b.Arbiter.Arbitration.start
+           && no_overlap rest
+       in
+       Alcotest.(check bool)
+         (Arbiter.Arbitration.policy_name policy ^ ": resource is exclusive")
+         true (no_overlap sorted))
+    [ Arbiter.Arbitration.Fcfs; Arbiter.Arbitration.Round_robin;
+      Arbiter.Arbitration.Tdm { slot = 2 };
+      Arbiter.Arbitration.Fixed_priority ]
+
+let test_tdm_slot_ownership () =
+  let served =
+    Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot = 4 })
+      ~clients:2 [ request 0 0 4; request 1 0 4 ]
+  in
+  List.iter
+    (fun (s : Arbiter.Arbitration.served) ->
+       let owner =
+         (s.Arbiter.Arbitration.start / 4) mod 2
+       in
+       Alcotest.(check int) "service happens in the owner's slot"
+         s.request.Arbiter.Arbitration.client owner;
+       Alcotest.(check int) "aligned to slot start" 0
+         (s.Arbiter.Arbitration.start mod 4))
+    served
+
+let test_tdm_non_work_conserving () =
+  (* Client 1 alone: still waits for its own slot rather than using client
+     0's idle slot. *)
+  let served =
+    Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot = 4 })
+      ~clients:2 [ request 1 0 4 ]
+  in
+  match served with
+  | [ s ] ->
+    Alcotest.(check int) "starts in own slot, not at time 0" 4
+      s.Arbiter.Arbitration.start
+  | _ -> Alcotest.fail "expected one served request"
+
+let test_tdm_composability () =
+  let victim = List.init 5 (fun i -> request 0 (1 + (i * 20)) 4) in
+  let co_a = [] in
+  let co_b =
+    List.concat_map (fun c -> List.init 10 (fun i -> request c (i * 4) 4)) [ 1; 2 ]
+  in
+  let run others =
+    schedule_of
+      (Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot = 4 })
+         ~clients:3 (victim @ others))
+      ~client:0
+  in
+  Alcotest.(check (list (pair int int))) "victim schedule co-runner-independent"
+    (run co_a) (run co_b)
+
+let test_rr_not_composable_but_bounded () =
+  let victim = List.init 5 (fun i -> request 0 (1 + (i * 25)) 4) in
+  let co =
+    List.concat_map (fun c -> List.init 10 (fun i -> request c (i * 5) 4)) [ 1; 2 ]
+  in
+  let served =
+    Arbiter.Arbitration.simulate Arbiter.Arbitration.Round_robin ~clients:3
+      (victim @ co)
+  in
+  let bound =
+    match
+      Arbiter.Arbitration.latency_bound Arbiter.Arbitration.Round_robin
+        ~clients:3 ~service:4
+    with
+    | Some b -> b
+    | None -> Alcotest.fail "RR should have a bound"
+  in
+  List.iter
+    (fun l -> Alcotest.(check bool) "within RR bound" true (l <= bound))
+    (latencies_of served ~client:0)
+
+let test_bounds_existence () =
+  let bound p = Arbiter.Arbitration.latency_bound p ~clients:4 ~service:4 in
+  Alcotest.(check bool) "TDM bounded" true (bound (Arbiter.Arbitration.Tdm { slot = 4 }) <> None);
+  Alcotest.(check bool) "FCFS unbounded" true (bound Arbiter.Arbitration.Fcfs = None);
+  Alcotest.(check bool) "FP unbounded in general" true
+    (bound Arbiter.Arbitration.Fixed_priority = None);
+  Alcotest.(check bool) "TDM oversize service unbounded" true
+    (bound (Arbiter.Arbitration.Tdm { slot = 2 }) = None)
+
+let test_ccsp_slack_service () =
+  (* A client with no credits still gets served when nobody eligible wants
+     the resource (work conservation through slack). *)
+  let policy = Arbiter.Arbitration.Ccsp { rate_num = 0; rate_den = 1; burst = 1 } in
+  let served =
+    Arbiter.Arbitration.simulate policy ~clients:2 [ request 1 0 3 ]
+  in
+  match served with
+  | [ s ] ->
+    Alcotest.(check bool) "served promptly despite zero rate" true
+      (s.Arbiter.Arbitration.finish <= 5)
+  | _ -> Alcotest.fail "expected one request"
+
+let test_tdm_queue_order () =
+  (* Two outstanding requests of one client are served in arrival order in
+     consecutive owned slots. *)
+  let served =
+    Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot = 4 })
+      ~clients:2 [ request 0 0 4; request 0 1 4 ]
+  in
+  match
+    List.sort
+      (fun (a : Arbiter.Arbitration.served) b ->
+         Stdlib.compare a.Arbiter.Arbitration.start b.Arbiter.Arbitration.start)
+      served
+  with
+  | [ first; second ] ->
+    Alcotest.(check int) "first in slot 0" 0 first.Arbiter.Arbitration.start;
+    Alcotest.(check int) "second one round later" 8 second.Arbiter.Arbitration.start
+  | _ -> Alcotest.fail "expected two served requests"
+
+let test_invalid_requests () =
+  let raises req =
+    try
+      ignore (Arbiter.Arbitration.simulate Arbiter.Arbitration.Fcfs ~clients:2 [ req ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero service" true (raises (request 0 0 0));
+  Alcotest.(check bool) "client out of range" true (raises (request 5 0 1))
+
+let prop_tdm_latency_bound =
+  QCheck.Test.make ~name:"sparse TDM clients always meet the analytic bound"
+    ~count:100
+    QCheck.(pair (int_range 1 20) (list_of_size (Gen.int_range 0 12) (int_range 0 200)))
+    (fun (seed, arrivals) ->
+       let clients = 3 and slot = 4 in
+       ignore seed;
+       (* Enforce arrival spacing beyond the bound so each client has at
+          most one outstanding request. *)
+       let spaced =
+         List.sort Stdlib.compare arrivals
+         |> List.fold_left
+           (fun (last, acc) a ->
+              let a = Stdlib.max a (last + 20) in
+              (a, a :: acc))
+           (-100, [])
+         |> snd |> List.rev
+       in
+       let victim = List.map (fun a -> request 0 a slot) spaced in
+       let co = List.init 10 (fun i -> request 1 (i * 7) slot) in
+       let served =
+         Arbiter.Arbitration.simulate (Arbiter.Arbitration.Tdm { slot })
+           ~clients (victim @ co)
+       in
+       match Arbiter.Arbitration.latency_bound (Arbiter.Arbitration.Tdm { slot })
+               ~clients ~service:slot
+       with
+       | Some bound ->
+         List.for_all (fun l -> l <= bound) (latencies_of served ~client:0)
+       | None -> false)
+
+let prop_work_conserving_policies_serve_in_finite_time =
+  QCheck.Test.make ~name:"every request eventually finishes after its arrival"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 15)
+              (pair (int_range 0 2) (int_range 0 60)))
+    (fun raw ->
+       let reqs = List.map (fun (c, a) -> request c a 3) raw in
+       List.for_all
+         (fun policy ->
+            let served = Arbiter.Arbitration.simulate policy ~clients:3 reqs in
+            List.length served = List.length reqs
+            && List.for_all
+              (fun (s : Arbiter.Arbitration.served) ->
+                 s.Arbiter.Arbitration.finish
+                 > s.request.Arbiter.Arbitration.arrival)
+              served)
+         [ Arbiter.Arbitration.Fcfs; Arbiter.Arbitration.Round_robin;
+           Arbiter.Arbitration.Fixed_priority;
+           Arbiter.Arbitration.Tdm { slot = 3 } ])
+
+let () =
+  Alcotest.run "arbiter"
+    [ ("service",
+       [ Alcotest.test_case "all requests served" `Quick test_all_requests_served;
+         Alcotest.test_case "FCFS order" `Quick test_fcfs_order;
+         Alcotest.test_case "fixed-priority preference" `Quick
+           test_fixed_priority_preference;
+         Alcotest.test_case "mutual exclusion" `Quick test_no_overlap;
+         Alcotest.test_case "invalid requests" `Quick test_invalid_requests ]);
+      ("tdm",
+       [ Alcotest.test_case "slot ownership" `Quick test_tdm_slot_ownership;
+         Alcotest.test_case "queue order across rounds" `Quick test_tdm_queue_order;
+         Alcotest.test_case "CCSP slack service" `Quick test_ccsp_slack_service;
+         Alcotest.test_case "non-work-conserving" `Quick
+           test_tdm_non_work_conserving;
+         Alcotest.test_case "composability" `Quick test_tdm_composability ]);
+      ("bounds",
+       [ Alcotest.test_case "round-robin bound" `Quick
+           test_rr_not_composable_but_bounded;
+         Alcotest.test_case "bound existence per policy" `Quick
+           test_bounds_existence;
+         QCheck_alcotest.to_alcotest prop_tdm_latency_bound;
+         QCheck_alcotest.to_alcotest
+           prop_work_conserving_policies_serve_in_finite_time ]) ]

@@ -1,0 +1,161 @@
+(* Tests for branch predictors: static schemes, dynamic tables, training
+   behaviour, initial-state sensitivity and the WCET-oriented assignment. *)
+
+let event ?(pc = 0) ?(backward = false) taken =
+  { Branchpred.Predictor.pc; backward; taken }
+
+let run_count predictor events =
+  fst (Branchpred.Predictor.run predictor events)
+
+(* --- static schemes ---------------------------------------------------- *)
+
+let test_static_always () =
+  let taken_events = List.init 6 (fun _ -> event true) in
+  let at = Branchpred.Predictor.static Branchpred.Predictor.Always_taken in
+  let ant = Branchpred.Predictor.static Branchpred.Predictor.Always_not_taken in
+  Alcotest.(check int) "always-taken never misses on taken" 0
+    (run_count at taken_events);
+  Alcotest.(check int) "always-not-taken always misses on taken" 6
+    (run_count ant taken_events)
+
+let test_static_btfn () =
+  let p = Branchpred.Predictor.static Branchpred.Predictor.Btfn in
+  Alcotest.(check bool) "backward predicted taken" true
+    (Branchpred.Predictor.predict p (event ~backward:true false));
+  Alcotest.(check bool) "forward predicted not-taken" false
+    (Branchpred.Predictor.predict p (event ~backward:false true))
+
+let test_per_branch () =
+  let p =
+    Branchpred.Predictor.static
+      (Branchpred.Predictor.Per_branch [ (10, true); (20, false) ])
+  in
+  Alcotest.(check bool) "pc 10 taken" true
+    (Branchpred.Predictor.predict p (event ~pc:10 false));
+  Alcotest.(check bool) "pc 20 not-taken" false
+    (Branchpred.Predictor.predict p (event ~pc:20 false));
+  Alcotest.(check bool) "unknown pc defaults to not-taken" false
+    (Branchpred.Predictor.predict p (event ~pc:99 false))
+
+let test_static_update_is_identity () =
+  let p = Branchpred.Predictor.static Branchpred.Predictor.Btfn in
+  let p' = Branchpred.Predictor.update p (event true) in
+  Alcotest.(check bool) "stateless" true
+    (Branchpred.Predictor.predict p (event ~backward:true false)
+     = Branchpred.Predictor.predict p' (event ~backward:true false))
+
+(* --- dynamic schemes ---------------------------------------------------- *)
+
+let test_one_bit_flips () =
+  let p = Branchpred.Predictor.one_bit ~entries:4 ~init:0 in
+  Alcotest.(check bool) "initially not-taken" false
+    (Branchpred.Predictor.predict p (event true));
+  let p = Branchpred.Predictor.update p (event true) in
+  Alcotest.(check bool) "after one taken: predicts taken" true
+    (Branchpred.Predictor.predict p (event true))
+
+let test_two_bit_hysteresis () =
+  let p = Branchpred.Predictor.two_bit ~entries:4 ~init:1 in
+  (* init 1 = all saturated-taken; one not-taken outcome must not flip it. *)
+  let p = Branchpred.Predictor.update p (event false) in
+  Alcotest.(check bool) "still predicts taken after one not-taken" true
+    (Branchpred.Predictor.predict p (event true));
+  let p = Branchpred.Predictor.update p (event false) in
+  let p = Branchpred.Predictor.update p (event false) in
+  Alcotest.(check bool) "flips after saturation" false
+    (Branchpred.Predictor.predict p (event true))
+
+let test_two_bit_learns_loop () =
+  (* Loop pattern TTTTTN repeated: a warm 2-bit predictor mispredicts once
+     per loop exit. *)
+  let pattern =
+    List.concat
+      (List.init 4 (fun _ -> List.init 5 (fun _ -> event true) @ [ event false ]))
+  in
+  let p = Branchpred.Predictor.two_bit ~entries:4 ~init:1 in
+  Alcotest.(check int) "one miss per exit" 4 (run_count p pattern)
+
+let test_initial_state_sensitivity () =
+  let events = List.init 3 (fun _ -> event true) in
+  let base = Branchpred.Predictor.two_bit ~entries:4 ~init:0 in
+  let counts =
+    List.map (fun p -> run_count p events)
+      (Branchpred.Predictor.initial_states base)
+  in
+  Alcotest.(check bool) "different initial tables, different misses" true
+    (Prelude.Stats.max_int_list counts > Prelude.Stats.min_int_list counts);
+  let static = Branchpred.Predictor.static Branchpred.Predictor.Btfn in
+  Alcotest.(check int) "static scheme has a single initial state" 1
+    (List.length (Branchpred.Predictor.initial_states static))
+
+let test_gshare_uses_history () =
+  (* Alternating pattern at one pc: gshare can learn it (different history
+     indexes different counters), bimodal cannot. *)
+  let pattern = List.init 64 (fun i -> event (i mod 2 = 0)) in
+  let gshare = Branchpred.Predictor.gshare ~entries:16 ~history_bits:2 ~init:0 in
+  let bimodal = Branchpred.Predictor.two_bit ~entries:16 ~init:0 in
+  let g = run_count gshare pattern and b = run_count bimodal pattern in
+  Alcotest.(check bool)
+    (Printf.sprintf "gshare (%d) beats bimodal (%d) on alternation" g b)
+    true (g < b)
+
+(* --- WCET-oriented assignment ------------------------------------------ *)
+
+let test_wcet_oriented_majority () =
+  let traces =
+    [ [ event ~pc:1 true; event ~pc:2 false ];
+      [ event ~pc:1 true; event ~pc:2 true ];
+      [ event ~pc:1 false; event ~pc:2 false ] ]
+  in
+  match Branchpred.Predictor.wcet_oriented traces with
+  | Branchpred.Predictor.Per_branch dirs ->
+    Alcotest.(check (option bool)) "pc 1 majority taken" (Some true)
+      (List.assoc_opt 1 dirs);
+    Alcotest.(check (option bool)) "pc 2 majority not-taken" (Some false)
+      (List.assoc_opt 2 dirs)
+  | _ -> Alcotest.fail "expected a per-branch assignment"
+
+let prop_wcet_oriented_never_worse_than_worst_static =
+  (* On the very traces it was derived from, the majority assignment's total
+     misprediction count is at most that of either constant scheme. *)
+  QCheck.Test.make ~name:"majority assignment beats constant schemes on its traces"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 30)
+              (pair (int_range 0 3) bool))
+    (fun raw ->
+       let trace = List.map (fun (pc, taken) -> event ~pc taken) raw in
+       let scheme = Branchpred.Predictor.wcet_oriented [ trace ] in
+       let count s = run_count (Branchpred.Predictor.static s) trace in
+       let majority = count scheme in
+       majority <= count Branchpred.Predictor.Always_taken
+       && majority <= count Branchpred.Predictor.Always_not_taken)
+
+let prop_run_count_bounded =
+  QCheck.Test.make ~name:"misprediction count bounded by event count" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (int_range 0 7) bool))
+    (fun raw ->
+       let trace = List.map (fun (pc, taken) -> event ~pc taken) raw in
+       let p = Branchpred.Predictor.two_bit ~entries:8 ~init:0 in
+       run_count p trace <= List.length trace)
+
+let () =
+  Alcotest.run "branchpred"
+    [ ("static",
+       [ Alcotest.test_case "always-taken / not-taken" `Quick test_static_always;
+         Alcotest.test_case "BTFN direction" `Quick test_static_btfn;
+         Alcotest.test_case "per-branch table" `Quick test_per_branch;
+         Alcotest.test_case "updates are identity" `Quick
+           test_static_update_is_identity ]);
+      ("dynamic",
+       [ Alcotest.test_case "1-bit flips" `Quick test_one_bit_flips;
+         Alcotest.test_case "2-bit hysteresis" `Quick test_two_bit_hysteresis;
+         Alcotest.test_case "2-bit loop behaviour" `Quick test_two_bit_learns_loop;
+         Alcotest.test_case "initial-state sensitivity" `Quick
+           test_initial_state_sensitivity;
+         Alcotest.test_case "gshare exploits history" `Quick
+           test_gshare_uses_history ]);
+      ("wcet-oriented",
+       [ Alcotest.test_case "majority directions" `Quick test_wcet_oriented_majority;
+         QCheck_alcotest.to_alcotest
+           prop_wcet_oriented_never_worse_than_worst_static;
+         QCheck_alcotest.to_alcotest prop_run_count_bounded ]) ]

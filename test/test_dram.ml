@@ -1,0 +1,267 @@
+(* Tests for the DRAM model: device timing, open-page row behaviour,
+   close-page constancy, controller arbitration, refresh schemes, bounds. *)
+
+let timing = Dram.Timing.default
+
+let config ?(policy = Dram.Controller.Amc) ?(refresh = Dram.Controller.Distributed)
+    ?(refresh_phase = 0) ?(clients = 1) () =
+  { Dram.Controller.timing; policy; refresh; refresh_phase; clients }
+
+let request ?(client = 0) ?(bank = 0) ?(row = 0) arrival =
+  { Dram.Controller.client; arrival; bank; row }
+
+let latencies served = List.map Dram.Controller.latency served
+
+let test_close_page_service () =
+  Alcotest.(check int) "tRCD+tCL+tRP" 12 (Dram.Timing.close_page_service timing)
+
+let test_open_page_row_hit_faster () =
+  let cfg = config ~policy:Dram.Controller.Open_page_fcfs () in
+  let served =
+    Dram.Controller.simulate cfg [ request ~row:5 0; request ~row:5 50 ]
+  in
+  match served with
+  | [ first; second ] ->
+    Alcotest.(check bool) "first access misses the row" false
+      first.Dram.Controller.row_hit;
+    Alcotest.(check bool) "second hits the open row" true
+      second.Dram.Controller.row_hit;
+    Alcotest.(check bool) "row hit is faster" true
+      (Dram.Controller.latency second < Dram.Controller.latency first)
+  | _ -> Alcotest.fail "expected two served requests"
+
+let test_open_page_conflict_slower () =
+  let cfg = config ~policy:Dram.Controller.Open_page_fcfs () in
+  let served =
+    Dram.Controller.simulate cfg [ request ~row:5 0; request ~row:9 50 ]
+  in
+  match served with
+  | [ _; conflict ] ->
+    Alcotest.(check int) "conflict pays tRP+tRCD+tCL" 12
+      (Dram.Controller.latency conflict)
+  | _ -> Alcotest.fail "expected two served requests"
+
+let test_close_page_constant_latency () =
+  (* Same addresses, but a close-page controller: every isolated access costs
+     exactly the same. *)
+  let cfg = config ~policy:Dram.Controller.Amc () in
+  let served =
+    Dram.Controller.simulate cfg
+      [ request ~row:5 0; request ~row:5 60; request ~row:9 120 ]
+  in
+  let ls = latencies served in
+  Alcotest.(check bool) "all equal" true
+    (match ls with [] -> false | l :: rest -> List.for_all (fun x -> x = l) rest)
+
+let test_refresh_blocks_accesses () =
+  let cfg = config ~refresh:Dram.Controller.Distributed () in
+  (* A request arriving exactly at the first refresh due time stalls. *)
+  let served = Dram.Controller.simulate cfg [ request timing.Dram.Timing.t_refi ] in
+  match served with
+  | [ s ] ->
+    Alcotest.(check bool) "refresh stall recorded" true
+      (s.Dram.Controller.refresh_stall > 0)
+  | _ -> Alcotest.fail "expected one request"
+
+let test_refresh_phase_shifts_schedule () =
+  let windows phase =
+    Dram.Controller.refresh_windows (config ~refresh_phase:phase ()) ~horizon:3000
+  in
+  let w0 = windows 0 and w100 = windows 100 in
+  Alcotest.(check bool) "phase shifts window starts" true
+    (List.for_all2 (fun (a, _) (b, _) -> b = a + 100)
+       (Prelude.Listx.take 3 w0) (Prelude.Listx.take 3 w100))
+
+let test_burst_refresh_grouping () =
+  let cfg = config ~refresh:(Dram.Controller.Burst { group = 4 }) () in
+  match Dram.Controller.refresh_windows cfg ~horizon:(5 * 4 * timing.Dram.Timing.t_refi) with
+  | (start, len) :: _ ->
+    Alcotest.(check int) "window start at group*tREFI" (4 * timing.Dram.Timing.t_refi) start;
+    Alcotest.(check int) "window length group*tRFC" (4 * timing.Dram.Timing.t_rfc) len
+  | [] -> Alcotest.fail "no refresh windows"
+
+let test_amc_bound_respected_sparse () =
+  let cfg = config ~policy:Dram.Controller.Amc ~clients:2 () in
+  let bound =
+    match Dram.Controller.latency_bound cfg with
+    | Some b -> b
+    | None -> Alcotest.fail "AMC must be bounded"
+  in
+  let victim = List.init 10 (fun i -> request ~client:0 (i * (bound + 10))) in
+  let co = List.init 40 (fun i -> { (request (i * 13)) with Dram.Controller.client = 1 }) in
+  let served = Dram.Controller.simulate cfg (victim @ co) in
+  List.iter
+    (fun (s : Dram.Controller.served) ->
+       if s.request.Dram.Controller.client = 0 then
+         Alcotest.(check bool) "within bound" true (Dram.Controller.latency s <= bound))
+    served
+
+let test_predator_bound_respected () =
+  let cfg = config ~policy:(Dram.Controller.Predator { burst = 2 }) ~clients:3 () in
+  let bound =
+    match Dram.Controller.latency_bound cfg with
+    | Some b -> b
+    | None -> Alcotest.fail "Predator must be bounded"
+  in
+  let victim = List.init 8 (fun i -> request ~client:0 (i * (bound + 20))) in
+  let co =
+    List.concat_map
+      (fun c -> List.init 30 (fun i -> { (request (i * 11)) with Dram.Controller.client = c }))
+      [ 1; 2 ]
+  in
+  let served = Dram.Controller.simulate cfg (victim @ co) in
+  List.iter
+    (fun (s : Dram.Controller.served) ->
+       if s.request.Dram.Controller.client = 0 then
+         Alcotest.(check bool) "within bound" true (Dram.Controller.latency s <= bound))
+    served
+
+let test_fcfs_no_bound () =
+  Alcotest.(check bool) "FCFS unbounded" true
+    (Dram.Controller.latency_bound (config ~policy:Dram.Controller.Open_page_fcfs ())
+     = None)
+
+let test_burst_refresh_excluded_from_bound () =
+  let with_dist = config ~policy:Dram.Controller.Amc ~refresh:Dram.Controller.Distributed () in
+  let with_burst =
+    config ~policy:Dram.Controller.Amc ~refresh:(Dram.Controller.Burst { group = 8 }) ()
+  in
+  match Dram.Controller.latency_bound with_dist,
+        Dram.Controller.latency_bound with_burst with
+  | Some d, Some b ->
+    Alcotest.(check bool) "burst bound tighter (refresh accounted separately)"
+      true (b < d)
+  | _, _ -> Alcotest.fail "both should be bounded"
+
+let test_banks_keep_rows_open () =
+  (* Open-page: a row opened in bank 0 survives traffic to bank 1. *)
+  let cfg = config ~policy:Dram.Controller.Open_page_fcfs () in
+  let served =
+    Dram.Controller.simulate cfg
+      [ request ~bank:0 ~row:5 0;
+        request ~bank:1 ~row:9 50;
+        request ~bank:0 ~row:5 100 ]
+  in
+  match served with
+  | [ _; other_bank; revisit ] ->
+    Alcotest.(check bool) "other bank misses its row" false
+      other_bank.Dram.Controller.row_hit;
+    Alcotest.(check bool) "original bank's row still open" true
+      revisit.Dram.Controller.row_hit
+  | _ -> Alcotest.fail "expected three served requests"
+
+let test_refresh_closes_rows () =
+  let cfg = config ~policy:Dram.Controller.Open_page_fcfs () in
+  let t_refi = timing.Dram.Timing.t_refi in
+  let served =
+    Dram.Controller.simulate cfg
+      [ request ~bank:0 ~row:5 0;
+        request ~bank:0 ~row:5 (t_refi + 100) ]
+  in
+  match served with
+  | [ _; after_refresh ] ->
+    Alcotest.(check bool) "row closed by the refresh" false
+      after_refresh.Dram.Controller.row_hit
+  | _ -> Alcotest.fail "expected two served requests"
+
+let test_predator_prioritises_victim () =
+  (* With a busy low-priority client, the high-priority client's latency
+     stays near the close-page service time. *)
+  let cfg = config ~policy:(Dram.Controller.Predator { burst = 2 }) ~clients:2 () in
+  let victim = [ request ~client:0 500 ] in
+  let co = List.init 60 (fun i -> { (request (i * 13)) with Dram.Controller.client = 1 }) in
+  let served = Dram.Controller.simulate cfg (victim @ co) in
+  let victim_latency =
+    List.filter_map
+      (fun (s : Dram.Controller.served) ->
+         if s.request.Dram.Controller.client = 0
+         then Some (Dram.Controller.latency s) else None)
+      served
+  in
+  match victim_latency with
+  | [ l ] ->
+    (* One blocking request + own service at most (no refresh nearby). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "high-priority latency small (%d)" l) true
+      (l <= 2 * Dram.Timing.close_page_service timing)
+  | _ -> Alcotest.fail "expected one victim request"
+
+let test_validation () =
+  let raises req =
+    try ignore (Dram.Controller.simulate (config ~clients:1 ()) [ req ]); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad bank" true (raises (request ~bank:99 0));
+  Alcotest.(check bool) "bad client" true (raises (request ~client:5 0))
+
+let test_traffic_generators () =
+  let streaming = Dram.Traffic.streaming ~client:1 ~banks:4 ~count:8 ~period:5 100 in
+  Alcotest.(check int) "streaming count" 8 (List.length streaming);
+  List.iteri
+    (fun i (r : Dram.Controller.request) ->
+       Alcotest.(check int) "streaming arrivals periodic" (100 + (i * 5))
+         r.Dram.Controller.arrival)
+    streaming;
+  let random =
+    Dram.Traffic.random ~min_gap:10 ~client:0 ~banks:4 ~rows:8 ~count:20
+      ~mean_gap:5 ~seed:3
+  in
+  let rec gaps_ok = function
+    | (a : Dram.Controller.request) :: (b :: _ as rest) ->
+      b.Dram.Controller.arrival - a.Dram.Controller.arrival >= 10 && gaps_ok rest
+    | [] | [ _ ] -> true
+  in
+  Alcotest.(check bool) "min gap respected" true (gaps_ok random);
+  let again =
+    Dram.Traffic.random ~min_gap:10 ~client:0 ~banks:4 ~rows:8 ~count:20
+      ~mean_gap:5 ~seed:3
+  in
+  Alcotest.(check bool) "random traffic deterministic in seed" true (random = again)
+
+let prop_latency_positive =
+  QCheck.Test.make ~name:"latencies are always positive" ~count:60
+    QCheck.(pair (int_range 0 1000) (int_range 1 10))
+    (fun (seed, n) ->
+       let reqs =
+         Dram.Traffic.random ~min_gap:1 ~client:0 ~banks:4 ~rows:8 ~count:n
+           ~mean_gap:10 ~seed
+       in
+       let served =
+         Dram.Controller.simulate (config ~policy:Dram.Controller.Open_page_fcfs ()) reqs
+       in
+       List.for_all (fun l -> l > 0) (latencies served))
+
+let () =
+  Alcotest.run "dram"
+    [ ("device",
+       [ Alcotest.test_case "close-page service time" `Quick test_close_page_service;
+         Alcotest.test_case "row hits are faster" `Quick
+           test_open_page_row_hit_faster;
+         Alcotest.test_case "row conflicts are slower" `Quick
+           test_open_page_conflict_slower;
+         Alcotest.test_case "close-page latency constant" `Quick
+           test_close_page_constant_latency ]);
+      ("refresh",
+       [ Alcotest.test_case "refresh blocks accesses" `Quick
+           test_refresh_blocks_accesses;
+         Alcotest.test_case "phase shifts schedule" `Quick
+           test_refresh_phase_shifts_schedule;
+         Alcotest.test_case "burst grouping" `Quick test_burst_refresh_grouping ]);
+      ("bounds",
+       [ Alcotest.test_case "AMC bound respected" `Quick
+           test_amc_bound_respected_sparse;
+         Alcotest.test_case "Predator bound respected" `Quick
+           test_predator_bound_respected;
+         Alcotest.test_case "FCFS has no bound" `Quick test_fcfs_no_bound;
+         Alcotest.test_case "burst refresh excluded from bound" `Quick
+           test_burst_refresh_excluded_from_bound ]);
+      ("device-detail",
+       [ Alcotest.test_case "banks keep rows open" `Quick
+           test_banks_keep_rows_open;
+         Alcotest.test_case "refresh closes rows" `Quick test_refresh_closes_rows;
+         Alcotest.test_case "Predator prioritises" `Quick
+           test_predator_prioritises_victim ]);
+      ("infrastructure",
+       [ Alcotest.test_case "validation" `Quick test_validation;
+         Alcotest.test_case "traffic generators" `Quick test_traffic_generators;
+         QCheck_alcotest.to_alcotest prop_latency_positive ]) ]

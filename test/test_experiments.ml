@@ -1,0 +1,39 @@
+(* Integration tests: every experiment that reproduces a paper artefact must
+   run to completion and satisfy all of its reproduction checks ("who wins,
+   by roughly what factor"). The heavyweight exhaustive experiments are
+   tagged `Slow (they still run under plain `dune runtest`). *)
+
+let experiment_case (id, title, runner) =
+  let speed =
+    match id with
+    | "FIG1" | "RW.CACHE" | "TAB1.R7" -> `Slow
+    | _ -> `Quick
+  in
+  Alcotest.test_case (id ^ ": " ^ title) speed (fun () ->
+      let outcome = runner () in
+      Alcotest.(check string) "id matches registry" id
+        outcome.Predictability.Report.id;
+      Alcotest.(check bool) "produces a non-empty report" true
+        (String.length outcome.Predictability.Report.body > 0);
+      List.iter
+        (fun (c : Predictability.Report.check) ->
+           Alcotest.(check bool) c.Predictability.Report.label true
+             c.Predictability.Report.passed)
+        outcome.Predictability.Report.checks)
+
+let test_registry_unique_ids () =
+  let ids = Predictability.Experiments.ids () in
+  Alcotest.(check int) "no duplicate ids"
+    (List.length ids)
+    (List.length (Prelude.Listx.uniq Stdlib.compare ids))
+
+let test_run_unknown_id () =
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Predictability.Experiments.run "NOPE"))
+
+let () =
+  Alcotest.run "experiments"
+    [ ("registry",
+       [ Alcotest.test_case "unique ids" `Quick test_registry_unique_ids;
+         Alcotest.test_case "unknown id" `Quick test_run_unknown_id ]);
+      ("reproduction", List.map experiment_case Predictability.Experiments.all) ]

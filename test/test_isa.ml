@@ -1,0 +1,660 @@
+(* Tests for the ISA: registers, instruction metadata, program linking, the
+   structured compiler, the interpreter, and workload semantics. *)
+
+let instr = Alcotest.testable Isa.Instr.pp (fun a b -> a = b)
+
+(* --- Reg -------------------------------------------------------------- *)
+
+let test_reg_make_bounds () =
+  Alcotest.(check int) "round trip" 7 (Isa.Reg.index (Isa.Reg.make 7));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Reg.make: register index out of range")
+    (fun () -> ignore (Isa.Reg.make (-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Reg.make: register index out of range")
+    (fun () -> ignore (Isa.Reg.make 16))
+
+let test_reg_all () =
+  Alcotest.(check int) "16 registers" 16 (List.length Isa.Reg.all)
+
+(* --- Instr metadata --------------------------------------------------- *)
+
+let test_defs_uses () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3 in
+  Alcotest.(check int) "alu defs" 1 (List.length (defs (Alu (Add, r1, r2, r3))));
+  Alcotest.(check int) "alu uses" 2 (List.length (uses (Alu (Add, r1, r2, r3))));
+  Alcotest.(check int) "store defs" 0 (List.length (defs (St (r1, r2, 0))));
+  Alcotest.(check int) "store uses" 2 (List.length (uses (St (r1, r2, 0))));
+  Alcotest.(check int) "sel uses" 3 (List.length (uses (Sel (r1, r2, r3, r1))));
+  Alcotest.(check int) "branch uses" 2 (List.length (uses (Br (Eq, r1, r2, "x"))))
+
+let test_instr_classes () =
+  let open Isa.Instr in
+  Alcotest.(check bool) "br is branch" true (is_branch (Br (Eq, Isa.Reg.r0, Isa.Reg.r1, "l")));
+  Alcotest.(check bool) "jmp not branch" false (is_branch (Jmp "l"));
+  Alcotest.(check bool) "jmp is control" true (is_control (Jmp "l"));
+  Alcotest.(check bool) "call is control" true (is_control (Call "f"));
+  Alcotest.(check bool) "ld is memory" true (is_memory (Ld (Isa.Reg.r0, Isa.Reg.r1, 0)));
+  Alcotest.(check bool) "alu not memory" false
+    (is_memory (Alu (Add, Isa.Reg.r0, Isa.Reg.r1, Isa.Reg.r2)))
+
+let test_cmp () =
+  let open Isa.Instr in
+  Alcotest.(check bool) "eval eq" true (eval_cmp Eq 3 3);
+  Alcotest.(check bool) "eval ne" true (eval_cmp Ne 3 4);
+  Alcotest.(check bool) "eval lt" true (eval_cmp Lt 3 4);
+  Alcotest.(check bool) "eval ge" true (eval_cmp Ge 4 4);
+  List.iter
+    (fun cmp ->
+       List.iter
+         (fun (a, b) ->
+            Alcotest.(check bool) "negation inverts" (eval_cmp cmp a b)
+              (not (eval_cmp (negate_cmp cmp) a b)))
+         [ (1, 2); (2, 1); (2, 2) ])
+    [ Eq; Ne; Lt; Ge ]
+
+(* --- Program linking -------------------------------------------------- *)
+
+let simple_func name body = { Isa.Program.name; body }
+
+let test_link_layout () =
+  let open Isa.Program in
+  let p =
+    link
+      [ simple_func "main" [ Ins (Isa.Instr.Call "f"); Ins Isa.Instr.Halt ];
+        simple_func "f" [ Ins Isa.Instr.Ret ] ]
+  in
+  Alcotest.(check int) "length" 3 (length p);
+  Alcotest.(check int) "entry" 0 (entry p);
+  Alcotest.(check int) "resolve f" 2 (resolve p "f");
+  Alcotest.(check string) "function of pc 2" "f" (function_of_pc p 2);
+  Alcotest.(check string) "function of pc 0" "main" (function_of_pc p 0);
+  Alcotest.(check int) "instruction addresses are 4-byte" 8 (instr_address p 2)
+
+let test_link_errors () =
+  let open Isa.Program in
+  let raises_invalid f =
+    try f (); false with Invalid _ -> true
+  in
+  Alcotest.(check bool) "empty program" true
+    (raises_invalid (fun () -> ignore (link [])));
+  Alcotest.(check bool) "empty function" true
+    (raises_invalid (fun () -> ignore (link [ simple_func "main" [] ])));
+  Alcotest.(check bool) "duplicate label" true
+    (raises_invalid (fun () ->
+         ignore
+           (link
+              [ simple_func "main"
+                  [ Label "main"; Ins Isa.Instr.Halt ] ])));
+  Alcotest.(check bool) "unresolved target" true
+    (raises_invalid (fun () ->
+         ignore (link [ simple_func "main" [ Ins (Isa.Instr.Jmp "nowhere") ] ])))
+
+(* --- Interpreter ------------------------------------------------------ *)
+
+let run_main items input =
+  let p = Isa.Program.link [ simple_func "main" items ] in
+  (p, Isa.Exec.run p input)
+
+let test_exec_arith () =
+  let open Isa.Instr in
+  let _, outcome =
+    run_main
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 6));
+        Isa.Program.Ins (Li (Isa.Reg.r2, 7));
+        Isa.Program.Ins (Mul (Isa.Reg.r3, Isa.Reg.r1, Isa.Reg.r2));
+        Isa.Program.Ins (Alui (Add, Isa.Reg.r3, Isa.Reg.r3, 1));
+        Isa.Program.Ins Halt ]
+      (Isa.Exec.input ())
+  in
+  Alcotest.(check int) "6*7+1" 43 (Isa.Exec.result_reg outcome Isa.Reg.r3);
+  Alcotest.(check int) "five dynamic instructions" 5 outcome.Isa.Exec.steps
+
+let test_exec_alu_coverage () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3 in
+  let eval op a b =
+    let _, outcome =
+      run_main
+        [ Isa.Program.Ins (Li (r1, a)); Isa.Program.Ins (Li (r2, b));
+          Isa.Program.Ins (Alu (op, r3, r1, r2)); Isa.Program.Ins Halt ]
+        (Isa.Exec.input ())
+    in
+    Isa.Exec.result_reg outcome r3
+  in
+  Alcotest.(check int) "add" 12 (eval Add 7 5);
+  Alcotest.(check int) "sub" 2 (eval Sub 7 5);
+  Alcotest.(check int) "and" 4 (eval And 6 5);
+  Alcotest.(check int) "or" 7 (eval Or 6 5);
+  Alcotest.(check int) "xor" 3 (eval Xor 6 5);
+  Alcotest.(check int) "shl" 48 (eval Shl 6 3);
+  Alcotest.(check int) "shr" 3 (eval Shr 12 2);
+  Alcotest.(check int) "shr is arithmetic" (-2) (eval Shr (-8) 2);
+  Alcotest.(check int) "slt true" 1 (eval Slt 3 9);
+  Alcotest.(check int) "slt false" 0 (eval Slt 9 3)
+
+let test_exec_sel () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3
+  and r4 = Isa.Reg.r4 in
+  let sel cond =
+    let _, outcome =
+      run_main
+        [ Isa.Program.Ins (Li (r1, cond)); Isa.Program.Ins (Li (r2, 77));
+          Isa.Program.Ins (Li (r3, 88));
+          Isa.Program.Ins (Sel (r4, r1, r2, r3)); Isa.Program.Ins Halt ]
+        (Isa.Exec.input ())
+    in
+    Isa.Exec.result_reg outcome r4
+  in
+  Alcotest.(check int) "nonzero picks first" 77 (sel 1);
+  Alcotest.(check int) "negative is nonzero" 77 (sel (-5));
+  Alcotest.(check int) "zero picks second" 88 (sel 0)
+
+let test_pp_smoke () =
+  let open Isa.Instr in
+  let shown ins = Format.asprintf "%a" Isa.Instr.pp ins in
+  Alcotest.(check string) "alu" "add r1, r2, r3"
+    (shown (Alu (Add, Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3)));
+  Alcotest.(check string) "load" "ld r1, 4(r2)"
+    (shown (Ld (Isa.Reg.r1, Isa.Reg.r2, 4)));
+  Alcotest.(check string) "branch" "blt r1, r2, loop"
+    (shown (Br (Lt, Isa.Reg.r1, Isa.Reg.r2, "loop")));
+  let w = Isa.Workload.clamp () in
+  let p, _ = Isa.Workload.program w in
+  Alcotest.(check bool) "program pp renders" true
+    (String.length (Format.asprintf "%a" Isa.Program.pp p) > 50)
+
+let test_exec_memory () =
+  let open Isa.Instr in
+  let _, outcome =
+    run_main
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 100));
+        Isa.Program.Ins (Li (Isa.Reg.r2, 55));
+        Isa.Program.Ins (St (Isa.Reg.r2, Isa.Reg.r1, 3));
+        Isa.Program.Ins (Ld (Isa.Reg.r3, Isa.Reg.r1, 3));
+        Isa.Program.Ins Halt ]
+      (Isa.Exec.input ())
+  in
+  Alcotest.(check int) "store/load round trip" 55
+    (Isa.Exec.result_reg outcome Isa.Reg.r3);
+  Alcotest.(check int) "memory readback" 55 (outcome.Isa.Exec.read_mem 103)
+
+let test_exec_branch_events () =
+  let open Isa.Instr in
+  let _, outcome =
+    run_main
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 1));
+        Isa.Program.Ins (Br (Eq, Isa.Reg.r1, Isa.Reg.r1, "skip"));
+        Isa.Program.Ins (Li (Isa.Reg.r2, 99));
+        Isa.Program.Label "skip";
+        Isa.Program.Ins Halt ]
+      (Isa.Exec.input ())
+  in
+  Alcotest.(check int) "branch skipped the li" 0
+    (Isa.Exec.result_reg outcome Isa.Reg.r2);
+  let taken =
+    Array.to_list outcome.Isa.Exec.trace
+    |> List.filter_map (fun (ev : Isa.Exec.event) -> ev.Isa.Exec.taken)
+  in
+  Alcotest.(check (list bool)) "taken recorded" [ true ] taken
+
+let test_exec_call_ret () =
+  let open Isa.Instr in
+  let p =
+    Isa.Program.link
+      [ simple_func "main"
+          [ Isa.Program.Ins (Call "double");
+            Isa.Program.Ins (Call "double");
+            Isa.Program.Ins Halt ];
+        simple_func "double"
+          [ Isa.Program.Ins (Alu (Add, Isa.Reg.r1, Isa.Reg.r1, Isa.Reg.r1));
+            Isa.Program.Ins Ret ] ]
+  in
+  let outcome = Isa.Exec.run p (Isa.Exec.input ~regs:[ (Isa.Reg.r1, 3) ] ()) in
+  Alcotest.(check int) "3 doubled twice" 12 (Isa.Exec.result_reg outcome Isa.Reg.r1)
+
+let test_exec_stuck () =
+  let open Isa.Instr in
+  let raises_stuck items input =
+    let p = Isa.Program.link [ simple_func "main" items ] in
+    try ignore (Isa.Exec.run p input); false with Isa.Exec.Stuck _ -> true
+  in
+  Alcotest.(check bool) "ret with empty stack" true
+    (raises_stuck [ Isa.Program.Ins Ret ] (Isa.Exec.input ()));
+  Alcotest.(check bool) "division by zero" true
+    (raises_stuck
+       [ Isa.Program.Ins (Div (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3));
+         Isa.Program.Ins Halt ]
+       (Isa.Exec.input ()))
+
+let test_exec_fuel () =
+  let open Isa.Instr in
+  let p =
+    Isa.Program.link
+      [ simple_func "main"
+          [ Isa.Program.Label "loop"; Isa.Program.Ins (Jmp "loop") ] ]
+  in
+  Alcotest.check_raises "infinite loop runs out of fuel" Isa.Exec.Out_of_fuel
+    (fun () -> ignore (Isa.Exec.run ~fuel:100 p (Isa.Exec.input ())))
+
+(* --- Structured compiler ---------------------------------------------- *)
+
+let compile_run ?(input = Isa.Exec.input ()) funcs =
+  let p, shapes = Isa.Ast.compile funcs in
+  (p, shapes, Isa.Exec.run p input)
+
+let test_ast_if_both_arms () =
+  let open Isa.Instr in
+  let body value =
+    Isa.Ast.Seq
+      [ Isa.Ast.Block [ Li (Isa.Reg.r1, value); Li (Isa.Reg.r2, 10) ];
+        Isa.Ast.If
+          ({ Isa.Ast.cmp = Lt; ra = Isa.Reg.r1; rb = Isa.Reg.r2 },
+           Isa.Ast.Block [ Li (Isa.Reg.r3, 111) ],
+           Isa.Ast.Block [ Li (Isa.Reg.r3, 222) ]) ]
+  in
+  let _, _, then_outcome =
+    compile_run [ { Isa.Ast.name = "main"; body = body 5 } ]
+  in
+  let _, _, else_outcome =
+    compile_run [ { Isa.Ast.name = "main"; body = body 50 } ]
+  in
+  Alcotest.(check int) "then arm" 111 (Isa.Exec.result_reg then_outcome Isa.Reg.r3);
+  Alcotest.(check int) "else arm" 222 (Isa.Exec.result_reg else_outcome Isa.Reg.r3)
+
+let test_ast_loop_count () =
+  let open Isa.Instr in
+  let body count =
+    Isa.Ast.Seq
+      [ Isa.Ast.Block [ Li (Isa.Reg.r7, 0) ];
+        Isa.Ast.Loop
+          { count; counter = Isa.Reg.r1;
+            body = Isa.Ast.Block [ Alui (Add, Isa.Reg.r7, Isa.Reg.r7, 1) ] } ]
+  in
+  List.iter
+    (fun count ->
+       let _, _, outcome =
+         compile_run [ { Isa.Ast.name = "main"; body = body count } ]
+       in
+       Alcotest.(check int)
+         (Printf.sprintf "loop body runs %d times" count)
+         count (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    [ 1; 2; 7; 20 ]
+
+let test_ast_while () =
+  let open Isa.Instr in
+  (* Sum 1..5 with a while loop: r1 counts down, r7 accumulates. *)
+  let body =
+    Isa.Ast.Seq
+      [ Isa.Ast.Block [ Li (Isa.Reg.r1, 5); Li (Isa.Reg.r7, 0) ];
+        Isa.Ast.While
+          { bound = 10;
+            cond = { Isa.Ast.cmp = Ne; ra = Isa.Reg.r1; rb = Isa.Ast.zero };
+            body =
+              Isa.Ast.Block
+                [ Alu (Add, Isa.Reg.r7, Isa.Reg.r7, Isa.Reg.r1);
+                  Alui (Sub, Isa.Reg.r1, Isa.Reg.r1, 1) ] } ]
+  in
+  let _, _, outcome = compile_run [ { Isa.Ast.name = "main"; body } ] in
+  Alcotest.(check int) "sum 1..5" 15 (Isa.Exec.result_reg outcome Isa.Reg.r7)
+
+let test_ast_while_zero_iterations () =
+  let open Isa.Instr in
+  let body =
+    Isa.Ast.Seq
+      [ Isa.Ast.Block [ Li (Isa.Reg.r1, 0); Li (Isa.Reg.r7, 42) ];
+        Isa.Ast.While
+          { bound = 10;
+            cond = { Isa.Ast.cmp = Ne; ra = Isa.Reg.r1; rb = Isa.Ast.zero };
+            body = Isa.Ast.Block [ Li (Isa.Reg.r7, 0) ] } ]
+  in
+  let _, _, outcome = compile_run [ { Isa.Ast.name = "main"; body } ] in
+  Alcotest.(check int) "body never ran" 42 (Isa.Exec.result_reg outcome Isa.Reg.r7)
+
+let test_ast_call () =
+  let open Isa.Instr in
+  let main =
+    { Isa.Ast.name = "main";
+      body =
+        Isa.Ast.Seq
+          [ Isa.Ast.Block [ Li (Isa.Reg.r1, 20) ]; Isa.Ast.Call "incr";
+            Isa.Ast.Call "incr" ] }
+  in
+  let incr =
+    { Isa.Ast.name = "incr";
+      body = Isa.Ast.Block [ Alui (Add, Isa.Reg.r1, Isa.Reg.r1, 1) ] }
+  in
+  let _, _, outcome = compile_run [ main; incr ] in
+  Alcotest.(check int) "two increments" 22 (Isa.Exec.result_reg outcome Isa.Reg.r1)
+
+let test_ast_malformed () =
+  let raises_malformed funcs =
+    try ignore (Isa.Ast.compile funcs); false with Isa.Ast.Malformed _ -> true
+  in
+  Alcotest.(check bool) "control flow in block" true
+    (raises_malformed
+       [ { Isa.Ast.name = "main"; body = Isa.Ast.Block [ Isa.Instr.Halt ] } ]);
+  Alcotest.(check bool) "zero-count loop" true
+    (raises_malformed
+       [ { Isa.Ast.name = "main";
+           body =
+             Isa.Ast.Loop
+               { count = 0; counter = Isa.Reg.r1;
+                 body = Isa.Ast.Block [ Isa.Instr.Nop ] } } ]);
+  Alcotest.(check bool) "unknown callee" true
+    (raises_malformed [ { Isa.Ast.name = "main"; body = Isa.Ast.Call "ghost" } ])
+
+let test_shape_instrs_cover_program () =
+  let w = Isa.Workload.bubble_sort ~n:3 in
+  let p, shapes = Isa.Workload.program w in
+  let shape_pcs =
+    List.concat_map
+      (fun (_, shape) -> List.map fst (Isa.Ast.shape_instrs shape))
+      shapes
+    |> List.sort Stdlib.compare
+  in
+  Alcotest.(check (list int)) "every pc appears exactly once in the shapes"
+    (Prelude.Listx.range 0 (Isa.Program.length p)) shape_pcs
+
+let test_shape_instrs_match_code () =
+  let w = Isa.Workload.crc ~bits:4 in
+  let p, shapes = Isa.Workload.program w in
+  List.iter
+    (fun (_, shape) ->
+       List.iter
+         (fun (pc, ins) ->
+            Alcotest.check instr "shape instruction matches program"
+              (Isa.Program.instr p pc) ins)
+         (Isa.Ast.shape_instrs shape))
+    shapes
+
+(* --- Workload semantics ----------------------------------------------- *)
+
+let test_bubble_sort_sorts () =
+  let w = Isa.Workload.bubble_sort ~n:5 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let outcome = Isa.Exec.run p input in
+       let result =
+         List.init 5 (fun i -> outcome.Isa.Exec.read_mem (Isa.Workload.data_base + i))
+       in
+       Alcotest.(check (list int)) "array sorted" [ 0; 1; 2; 3; 4 ] result)
+    w.Isa.Workload.inputs
+
+let test_bsearch_finds () =
+  let w = Isa.Workload.bsearch ~n:8 in
+  let p, _ = Isa.Workload.program w in
+  (* keys 0, 2, ..., 14 exist at indices 0..7; odd keys do not. *)
+  List.iter
+    (fun input ->
+       let key =
+         match List.assoc_opt Isa.Reg.r1 input.Isa.Exec.regs with
+         | Some k -> k
+         | None -> 0
+       in
+       let outcome = Isa.Exec.run p input in
+       let found = Isa.Exec.result_reg outcome Isa.Reg.r11 in
+       if key >= 0 && key <= 14 && key mod 2 = 0 then
+         Alcotest.(check int)
+           (Printf.sprintf "key %d found at its index" key)
+           (Isa.Workload.data_base + (key / 2))
+           found
+       else
+         Alcotest.(check int) (Printf.sprintf "key %d not found" key) (-1) found)
+    w.Isa.Workload.inputs
+
+let test_max_array_correct () =
+  let w = Isa.Workload.max_array ~n:10 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let expected =
+         Prelude.Stats.max_int_list (List.map snd input.Isa.Exec.mem)
+       in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int) "max computed" expected
+         (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    w.Isa.Workload.inputs
+
+let test_clamp_correct () =
+  let w = Isa.Workload.clamp () in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let v =
+         match List.assoc_opt Isa.Reg.r1 input.Isa.Exec.regs with
+         | Some v -> v
+         | None -> 0
+       in
+       let expected = Stdlib.max 10 (Stdlib.min 100 v) in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int)
+         (Printf.sprintf "clamp %d" v) expected
+         (Isa.Exec.result_reg outcome Isa.Reg.r1))
+    w.Isa.Workload.inputs
+
+let test_matmul_correct () =
+  let w = Isa.Workload.matmul ~n:2 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    Isa.Exec.input
+      ~mem:[ (2000, 1); (2001, 2); (2002, 3); (2003, 4);
+             (3000, 5); (3001, 6); (3002, 7); (3003, 8) ]
+      ()
+  in
+  let outcome = Isa.Exec.run p input in
+  let c k = outcome.Isa.Exec.read_mem (4000 + k) in
+  Alcotest.(check (list int)) "2x2 matmul"
+    [ 19; 22; 43; 50 ] [ c 0; c 1; c 2; c 3 ]
+
+let test_branchy_counts () =
+  let w = Isa.Workload.branchy ~n:8 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let ones = List.length (List.filter (fun (_, v) -> v <> 0) input.Isa.Exec.mem) in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int) "ones counted" ones
+         (Isa.Exec.result_reg outcome Isa.Reg.r7);
+       Alcotest.(check int) "zeros counted" (8 - ones)
+         (Isa.Exec.result_reg outcome Isa.Reg.r8))
+    w.Isa.Workload.inputs
+
+let test_insertion_sort_sorts () =
+  let w = Isa.Workload.insertion_sort ~n:5 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let outcome = Isa.Exec.run p input in
+       let result =
+         List.init 5 (fun i -> outcome.Isa.Exec.read_mem (Isa.Workload.data_base + i))
+       in
+       Alcotest.(check (list int)) "array sorted" [ 0; 1; 2; 3; 4 ] result)
+    w.Isa.Workload.inputs
+
+let test_vector_dot_correct () =
+  let w = Isa.Workload.vector_dot ~n:6 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let value base k =
+         match List.assoc_opt (base + k) input.Isa.Exec.mem with
+         | Some v -> v
+         | None -> 0
+       in
+       let expected =
+         Prelude.Listx.sum (List.init 6 (fun k -> value 2000 k * value 3000 k))
+       in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int) "dot product" expected
+         (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    w.Isa.Workload.inputs
+
+let test_fibonacci_values () =
+  List.iter
+    (fun (n, expected) ->
+       let w = Isa.Workload.fibonacci ~n in
+       let p, _ = Isa.Workload.program w in
+       let outcome = Isa.Exec.run p (Isa.Exec.input ()) in
+       Alcotest.(check int) (Printf.sprintf "fib(%d)" n) expected
+         (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    [ (1, 1); (2, 1); (3, 2); (7, 13); (12, 144) ]
+
+let test_popcount_correct () =
+  let w = Isa.Workload.popcount ~bits:10 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let word =
+         match List.assoc_opt Isa.Reg.r1 input.Isa.Exec.regs with
+         | Some v -> v
+         | None -> 0
+       in
+       let rec bits v = if v = 0 then 0 else (v land 1) + bits (v lsr 1) in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int) (Printf.sprintf "popcount %d" word) (bits word)
+         (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    w.Isa.Workload.inputs
+
+let test_state_machine_follows_table () =
+  let w = Isa.Workload.state_machine ~steps:6 in
+  let p, _ = Isa.Workload.program w in
+  List.iter
+    (fun input ->
+       let mem k = match List.assoc_opt k input.Isa.Exec.mem with Some v -> v | None -> 0 in
+       let expected =
+         let rec go state k =
+           if k = 6 then state
+           else begin
+             let symbol = mem (Isa.Workload.data_base + k) in
+             go (mem (2000 + (state * 2) + symbol)) (k + 1)
+           end
+         in
+         go 0 0
+       in
+       let outcome = Isa.Exec.run p input in
+       Alcotest.(check int) "FSM final state" expected
+         (Isa.Exec.result_reg outcome Isa.Reg.r7))
+    w.Isa.Workload.inputs
+
+let prop_insertion_sort_random =
+  QCheck.Test.make ~name:"insertion sort equals List.sort on random arrays"
+    ~count:60
+    QCheck.(list_of_size (Gen.return 7) (int_range (-40) 40))
+    (fun values ->
+       let w = Isa.Workload.insertion_sort ~n:7 in
+       let p, _ = Isa.Workload.program w in
+       let outcome = Isa.Exec.run p (Isa.Workload.array_input values) in
+       let result =
+         List.init 7 (fun i -> outcome.Isa.Exec.read_mem (Isa.Workload.data_base + i))
+       in
+       result = List.sort Stdlib.compare values)
+
+let test_registry () =
+  Alcotest.(check int) "14 registered workloads" 14
+    (List.length Isa.Workload.registry);
+  (* Every registered workload compiles and executes its first input. *)
+  List.iter
+    (fun (name, make) ->
+       let w = make () in
+       let p, shapes = Isa.Workload.program w in
+       Alcotest.(check bool) (name ^ " has code") true (Isa.Program.length p > 0);
+       Alcotest.(check bool) (name ^ " has shapes") true (shapes <> []);
+       match w.Isa.Workload.inputs with
+       | [] -> Alcotest.fail (name ^ " has no inputs")
+       | input :: _ ->
+         let outcome = Isa.Exec.run p input in
+         Alcotest.(check bool) (name ^ " terminates") true
+           (outcome.Isa.Exec.steps > 0))
+    Isa.Workload.registry;
+  Alcotest.(check string) "find" "clamp" (Isa.Workload.find "clamp").Isa.Workload.name;
+  Alcotest.check_raises "unknown workload" Not_found (fun () ->
+      ignore (Isa.Workload.find "nope"))
+
+let test_permutations () =
+  Alcotest.(check int) "3! permutations" 6
+    (List.length (Isa.Workload.permutations [ 1; 2; 3 ]));
+  Alcotest.(check int) "0! permutations" 1
+    (List.length (Isa.Workload.permutations []))
+
+let prop_compiled_equals_workload_spec =
+  (* Random arrays: compiled bubble sort output equals List.sort. *)
+  QCheck.Test.make ~name:"bubble sort equals List.sort on random arrays"
+    ~count:60
+    QCheck.(list_of_size (Gen.return 6) (int_range (-50) 50))
+    (fun values ->
+       let w = Isa.Workload.bubble_sort ~n:6 in
+       let p, _ = Isa.Workload.program w in
+       let outcome = Isa.Exec.run p (Isa.Workload.array_input values) in
+       let result =
+         List.init 6 (fun i -> outcome.Isa.Exec.read_mem (Isa.Workload.data_base + i))
+       in
+       result = List.sort Stdlib.compare values)
+
+let prop_crc_deterministic =
+  QCheck.Test.make ~name:"crc is a function of its input" ~count:50
+    QCheck.(int_range 0 65535)
+    (fun word ->
+       let w = Isa.Workload.crc ~bits:8 in
+       let p, _ = Isa.Workload.program w in
+       let run () =
+         Isa.Exec.result_reg
+           (Isa.Exec.run p (Isa.Exec.input ~regs:[ (Isa.Reg.r1, word) ] ()))
+           Isa.Reg.r7
+       in
+       run () = run ())
+
+let () =
+  Alcotest.run "isa"
+    [ ("reg",
+       [ Alcotest.test_case "make bounds" `Quick test_reg_make_bounds;
+         Alcotest.test_case "all registers" `Quick test_reg_all ]);
+      ("instr",
+       [ Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+         Alcotest.test_case "classes" `Quick test_instr_classes;
+         Alcotest.test_case "comparisons" `Quick test_cmp ]);
+      ("program",
+       [ Alcotest.test_case "layout" `Quick test_link_layout;
+         Alcotest.test_case "link errors" `Quick test_link_errors ]);
+      ("exec",
+       [ Alcotest.test_case "arithmetic" `Quick test_exec_arith;
+         Alcotest.test_case "ALU operation coverage" `Quick test_exec_alu_coverage;
+         Alcotest.test_case "predicated select" `Quick test_exec_sel;
+         Alcotest.test_case "pretty-printing" `Quick test_pp_smoke;
+         Alcotest.test_case "memory" `Quick test_exec_memory;
+         Alcotest.test_case "branches" `Quick test_exec_branch_events;
+         Alcotest.test_case "call/ret" `Quick test_exec_call_ret;
+         Alcotest.test_case "stuck states" `Quick test_exec_stuck;
+         Alcotest.test_case "fuel" `Quick test_exec_fuel ]);
+      ("ast",
+       [ Alcotest.test_case "if arms" `Quick test_ast_if_both_arms;
+         Alcotest.test_case "counted loop" `Quick test_ast_loop_count;
+         Alcotest.test_case "while loop" `Quick test_ast_while;
+         Alcotest.test_case "while zero iterations" `Quick
+           test_ast_while_zero_iterations;
+         Alcotest.test_case "calls" `Quick test_ast_call;
+         Alcotest.test_case "malformed programs" `Quick test_ast_malformed;
+         Alcotest.test_case "shapes cover the program" `Quick
+           test_shape_instrs_cover_program;
+         Alcotest.test_case "shapes match the code" `Quick
+           test_shape_instrs_match_code ]);
+      ("workloads",
+       [ Alcotest.test_case "bubble sort sorts" `Quick test_bubble_sort_sorts;
+         Alcotest.test_case "binary search finds" `Quick test_bsearch_finds;
+         Alcotest.test_case "max_array" `Quick test_max_array_correct;
+         Alcotest.test_case "clamp" `Quick test_clamp_correct;
+         Alcotest.test_case "matmul 2x2" `Quick test_matmul_correct;
+         Alcotest.test_case "branchy counts" `Quick test_branchy_counts;
+         Alcotest.test_case "insertion sort sorts" `Quick test_insertion_sort_sorts;
+         Alcotest.test_case "vector dot" `Quick test_vector_dot_correct;
+         Alcotest.test_case "fibonacci" `Quick test_fibonacci_values;
+         Alcotest.test_case "popcount" `Quick test_popcount_correct;
+         Alcotest.test_case "state machine" `Quick test_state_machine_follows_table;
+         Alcotest.test_case "registry" `Quick test_registry;
+         Alcotest.test_case "permutations" `Quick test_permutations;
+         QCheck_alcotest.to_alcotest prop_compiled_equals_workload_spec;
+         QCheck_alcotest.to_alcotest prop_crc_deterministic;
+         QCheck_alcotest.to_alcotest prop_insertion_sort_random ]) ]

@@ -1,0 +1,68 @@
+(* Tests for the NoC link wrapper: client bookkeeping and the composability
+   check that backs the CoMPSoC experiment. *)
+
+let request client arrival service = { Arbiter.Arbitration.client; arrival; service }
+
+let tdm_link = Noc.Link.make ~policy:(Arbiter.Arbitration.Tdm { slot = 4 }) ~clients:3
+let fcfs_link = Noc.Link.make ~policy:Arbiter.Arbitration.Fcfs ~clients:3
+
+let victim = List.init 6 (fun i -> request 0 (2 + (i * 20)) 4)
+let light = List.init 4 (fun i -> request 1 (i * 25) 4)
+let heavy =
+  List.concat_map (fun c -> List.init 12 (fun i -> request c (i * 4) 4)) [ 1; 2 ]
+
+let test_client_filtering () =
+  let served = Noc.Link.run tdm_link (victim @ light) in
+  Alcotest.(check int) "victim latencies count" 6
+    (List.length (Noc.Link.client_latencies served ~client:0));
+  Alcotest.(check int) "co-runner latencies count" 4
+    (List.length (Noc.Link.client_latencies served ~client:1));
+  Alcotest.(check int) "schedule entries" 6
+    (List.length (Noc.Link.client_schedule served ~client:0))
+
+let test_tdm_composable () =
+  Alcotest.(check bool) "TDM composable" true
+    (Noc.Link.composable tdm_link ~victim ~co_runners_a:light ~co_runners_b:heavy)
+
+let test_fcfs_not_composable () =
+  Alcotest.(check bool) "FCFS schedule depends on co-runners" false
+    (Noc.Link.composable fcfs_link ~victim ~co_runners_a:[] ~co_runners_b:heavy)
+
+let test_composable_empty_victim_rejected () =
+  Alcotest.(check bool) "empty victim rejected" true
+    (try
+       ignore
+         (Noc.Link.composable tdm_link ~victim:[] ~co_runners_a:[] ~co_runners_b:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_policy_accessor () =
+  match Noc.Link.policy tdm_link with
+  | Arbiter.Arbitration.Tdm { slot } -> Alcotest.(check int) "slot" 4 slot
+  | _ -> Alcotest.fail "expected TDM"
+
+let prop_tdm_composable_under_random_co_runners =
+  QCheck.Test.make
+    ~name:"TDM composability holds for arbitrary co-runner workloads"
+    ~count:100
+    QCheck.(pair
+              (list_of_size (Gen.int_range 0 10)
+                 (pair (int_range 1 2) (int_range 0 80)))
+              (list_of_size (Gen.int_range 0 10)
+                 (pair (int_range 1 2) (int_range 0 80))))
+    (fun (raw_a, raw_b) ->
+       let co raw = List.map (fun (c, arrival) -> request c arrival 4) raw in
+       Noc.Link.composable tdm_link ~victim
+         ~co_runners_a:(co raw_a) ~co_runners_b:(co raw_b))
+
+let () =
+  Alcotest.run "noc"
+    [ ("link",
+       [ Alcotest.test_case "client filtering" `Quick test_client_filtering;
+         Alcotest.test_case "TDM composability" `Quick test_tdm_composable;
+         Alcotest.test_case "FCFS non-composability" `Quick
+           test_fcfs_not_composable;
+         Alcotest.test_case "empty victim rejected" `Quick
+           test_composable_empty_victim_rejected;
+         Alcotest.test_case "policy accessor" `Quick test_policy_accessor;
+         QCheck_alcotest.to_alcotest prop_tdm_composable_under_random_co_runners ]) ]

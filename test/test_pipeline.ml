@@ -1,0 +1,581 @@
+(* Tests for the pipeline timing models: the latency model, the memory
+   system, the compositional in-order machine, the superscalar scoreboard,
+   the dual-unit OoO machine (including the Equation-4 domino kernel), the
+   PRET interleaved pipeline and the SMT model. *)
+
+let simple_func name body = { Isa.Program.name; body }
+
+let program_of items = Isa.Program.link [ simple_func "main" items ]
+
+let straightline instrs =
+  program_of (List.map (fun i -> Isa.Program.Ins i) (instrs @ [ Isa.Instr.Halt ]))
+
+(* --- Latency model ------------------------------------------------------ *)
+
+let test_latency_classes () =
+  let open Isa.Instr in
+  let alu = Alu (Add, Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3) in
+  Alcotest.(check int) "alu 1 cycle" 1 (Pipeline.Latency.base ~operand:0 alu);
+  Alcotest.(check int) "small mul" 2
+    (Pipeline.Latency.base ~operand:5 (Mul (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3)));
+  Alcotest.(check int) "medium mul" 4
+    (Pipeline.Latency.base ~operand:100 (Mul (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3)));
+  Alcotest.(check int) "large mul" 6
+    (Pipeline.Latency.base ~operand:100000 (Mul (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3)));
+  Alcotest.(check int) "control flow cost" 2
+    (Pipeline.Latency.base ~operand:0 (Jmp "x"))
+
+let test_latency_bounds_sound () =
+  let open Isa.Instr in
+  let instrs =
+    [ Nop; Alu (Add, Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3);
+      Mul (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3);
+      Div (Isa.Reg.r1, Isa.Reg.r2, Isa.Reg.r3);
+      Ld (Isa.Reg.r1, Isa.Reg.r2, 0); Jmp "x"; Ret; Halt ]
+  in
+  List.iter
+    (fun ins ->
+       List.iter
+         (fun operand ->
+            let l = Pipeline.Latency.base ~operand ins in
+            Alcotest.(check bool) "best <= actual <= worst" true
+              (Pipeline.Latency.base_best ins <= l
+               && l <= Pipeline.Latency.base_worst ins))
+         [ 0; 3; 77; 12345 ])
+    instrs
+
+(* --- Mem_system --------------------------------------------------------- *)
+
+let test_mem_flat () =
+  let m = Pipeline.Mem_system.perfect in
+  let c1, m = Pipeline.Mem_system.fetch m 0 in
+  let c2, _ = Pipeline.Mem_system.data m 12345 in
+  Alcotest.(check int) "flat fetch" 1 c1;
+  Alcotest.(check int) "flat data" 1 c2
+
+let test_mem_cached () =
+  let cache_cfg =
+    { Cache.Set_assoc.sets = 2; ways = 1; line = 4; kind = Cache.Policy.Lru }
+  in
+  let m =
+    { Pipeline.Mem_system.imem =
+        Pipeline.Mem_system.Cached
+          { cache = Cache.Set_assoc.make cache_cfg; hit = 1; miss = 10 };
+      dmem = Pipeline.Mem_system.Flat 1 }
+  in
+  let c1, m = Pipeline.Mem_system.fetch m 0 in
+  let c2, m = Pipeline.Mem_system.fetch m 0 in
+  let c3, _ = Pipeline.Mem_system.fetch m 3 in
+  Alcotest.(check int) "cold miss" 10 c1;
+  Alcotest.(check int) "warm hit" 1 c2;
+  Alcotest.(check int) "same line hit" 1 c3
+
+let test_mem_spm () =
+  let spm = Cache.Scratchpad.make ~base:0 ~size:64 in
+  let m =
+    { Pipeline.Mem_system.imem = Pipeline.Mem_system.Flat 1;
+      dmem = Pipeline.Mem_system.Spm { spm; hit = 1; backing = 9 } }
+  in
+  let c1, m = Pipeline.Mem_system.data m 10 in
+  let c2, _ = Pipeline.Mem_system.data m 100 in
+  Alcotest.(check int) "spm hit" 1 c1;
+  Alcotest.(check int) "outside spm" 9 c2;
+  Alcotest.(check int) "worst of level" 9
+    (Pipeline.Mem_system.level_worst (Pipeline.Mem_system.Spm { spm; hit = 1; backing = 9 }))
+
+(* --- Inorder ------------------------------------------------------------ *)
+
+let test_inorder_straightline_cost () =
+  let open Isa.Instr in
+  (* Flat memory (1/fetch), 3 single-cycle instructions + halt:
+     cost = 4 fetches + 4 executes = 8. *)
+  let p = straightline [ Li (Isa.Reg.r1, 1); Li (Isa.Reg.r2, 2); Nop ] in
+  let t = Pipeline.Inorder.time p (Pipeline.Inorder.state ()) (Isa.Exec.input ()) in
+  Alcotest.(check int) "sequential sum of costs" 8 t
+
+let test_inorder_compositional () =
+  (* Timing of a block is independent of what preceded it (flat memory):
+     time(A;B) = time(A) + time(B) - halt adjustment. *)
+  let open Isa.Instr in
+  let block_a = [ Li (Isa.Reg.r1, 1); Nop; Nop ] in
+  let block_b = [ Li (Isa.Reg.r2, 2); Nop ] in
+  let t instrs =
+    Pipeline.Inorder.time (straightline instrs) (Pipeline.Inorder.state ())
+      (Isa.Exec.input ())
+  in
+  let halt_cost = 2 in
+  Alcotest.(check int) "additive timing"
+    (t block_a + t block_b - halt_cost) (t (block_a @ block_b))
+
+let test_inorder_mispredict_penalty () =
+  let open Isa.Instr in
+  (* A forward branch taken: BTFN predicts not-taken -> one penalty. *)
+  let p =
+    program_of
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 1));
+        Isa.Program.Ins (Br (Eq, Isa.Reg.r1, Isa.Reg.r1, "end"));
+        Isa.Program.Ins Nop;
+        Isa.Program.Label "end";
+        Isa.Program.Ins Halt ]
+  in
+  let outcome = Isa.Exec.run p (Isa.Exec.input ()) in
+  let result = Pipeline.Inorder.run p (Pipeline.Inorder.state ()) outcome in
+  Alcotest.(check int) "one misprediction" 1 result.Pipeline.Inorder.mispredictions
+
+let test_inorder_cache_state_matters () =
+  let w = Isa.Workload.crc ~bits:6 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    match w.Isa.Workload.inputs with i :: _ -> i | [] -> Alcotest.fail "no input"
+  in
+  let states = Predictability.Harness.inorder_states p w in
+  let times =
+    List.map (fun q -> Pipeline.Inorder.time p q input) states
+  in
+  Alcotest.(check bool) "warm caches are faster than cold" true
+    (Prelude.Stats.max_int_list times > Prelude.Stats.min_int_list times)
+
+(* --- Superscalar --------------------------------------------------------- *)
+
+let test_superscalar_dual_issue_faster () =
+  let open Isa.Instr in
+  (* Eight independent instructions: width 2 roughly halves the time. *)
+  let instrs = List.init 8 (fun i -> Li (Isa.Reg.make (i + 1), i)) in
+  let p = straightline instrs in
+  let outcome = Isa.Exec.run p (Isa.Exec.input ()) in
+  let run width =
+    (Pipeline.Superscalar.run { Pipeline.Superscalar.width; regulate = false }
+       ~init:[] outcome).Pipeline.Superscalar.cycles
+  in
+  Alcotest.(check bool) "wider is faster" true (run 2 < run 1)
+
+let test_superscalar_raw_dependency () =
+  let open Isa.Instr in
+  (* A chain of dependent adds cannot dual-issue. *)
+  let chain =
+    List.init 6 (fun _ -> Alu (Add, Isa.Reg.r1, Isa.Reg.r1, Isa.Reg.r1))
+  in
+  let independent = List.init 6 (fun i -> Li (Isa.Reg.make (i + 1), i)) in
+  let t instrs =
+    let p = straightline instrs in
+    (Pipeline.Superscalar.run { Pipeline.Superscalar.width = 2; regulate = false }
+       ~init:[] (Isa.Exec.run p (Isa.Exec.input ())))
+      .Pipeline.Superscalar.cycles
+  in
+  Alcotest.(check bool) "chain slower than independent" true
+    (t chain > t independent)
+
+let test_superscalar_regulation_signatures () =
+  let w = Isa.Workload.crc ~bits:5 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    match w.Isa.Workload.inputs with i :: _ -> i | [] -> Alcotest.fail "no input"
+  in
+  let outcome = Isa.Exec.run p input in
+  let result =
+    Pipeline.Superscalar.run { Pipeline.Superscalar.width = 2; regulate = true }
+      ~init:[ (Isa.Reg.r7, 9) ] outcome
+  in
+  List.iter
+    (fun signature ->
+       Alcotest.(check (list int)) "drained at every boundary" [] signature)
+    result.Pipeline.Superscalar.entry_signatures
+
+(* --- Ooo: kernel mode (Equation 4) --------------------------------------- *)
+
+let test_domino_exact_eq4 () =
+  List.iter
+    (fun n ->
+       let t1 =
+         Predictability.Exp_eq4.time ~dispatch:Pipeline.Ooo.Greedy n
+           Predictability.Exp_eq4.q_primed
+       in
+       let t2 =
+         Predictability.Exp_eq4.time ~dispatch:Pipeline.Ooo.Greedy n
+           Predictability.Exp_eq4.q_empty
+       in
+       Alcotest.(check int) (Printf.sprintf "9n+1 at n=%d" n) ((9 * n) + 1) t1;
+       Alcotest.(check int) (Printf.sprintf "12n at n=%d" n) (12 * n) t2)
+    [ 1; 2; 3; 5; 10; 33; 100 ]
+
+let test_domino_alternate_dispatch_converges () =
+  let diff n dispatch =
+    abs
+      (Predictability.Exp_eq4.time ~dispatch n Predictability.Exp_eq4.q_primed
+       - Predictability.Exp_eq4.time ~dispatch n Predictability.Exp_eq4.q_empty)
+  in
+  Alcotest.(check bool) "greedy difference grows" true
+    (diff 40 Pipeline.Ooo.Greedy > diff 10 Pipeline.Ooo.Greedy);
+  Alcotest.(check int) "alternate difference stays constant"
+    (diff 10 Pipeline.Ooo.Alternate) (diff 40 Pipeline.Ooo.Alternate)
+
+let test_kernel_rejects_impossible_op () =
+  let config =
+    { Pipeline.Ooo.latency = (fun _ _ -> None); dispatch = Pipeline.Ooo.Greedy }
+  in
+  Alcotest.(check bool) "op executable nowhere rejected" true
+    (try
+       ignore
+         (Pipeline.Ooo.run_kernel config
+            ~iteration:[ { Pipeline.Ooo.klass = 0; deps = [] } ] ~n:1 ~init:(0, 0));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Ooo: trace mode ------------------------------------------------------ *)
+
+let test_ooo_trace_runs_and_vtraces_reset () =
+  let w = Isa.Workload.fir ~taps:2 ~samples:2 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    match w.Isa.Workload.inputs with i :: _ -> i | [] -> Alcotest.fail "no input"
+  in
+  let plain init =
+    Pipeline.Ooo.time (Pipeline.Ooo.trace_config ()) ~init p input
+  in
+  let vt init =
+    Pipeline.Ooo.time
+      (Pipeline.Ooo.trace_config ~virtual_traces:true ~constant_ops:true ())
+      ~init p input
+  in
+  Alcotest.(check int) "virtual traces ignore initial pipeline state"
+    (vt (0, 0)) (vt (9, 7));
+  Alcotest.(check bool) "constant ops cost at least the variable version" true
+    (vt (0, 0) >= plain (0, 0))
+
+let test_ooo_mul_goes_to_unit1 () =
+  let open Isa.Instr in
+  (* A lone Mul must execute even when U0 is free first (it cannot run there). *)
+  let p = straightline [ Li (Isa.Reg.r1, 3); Li (Isa.Reg.r2, 4);
+                         Mul (Isa.Reg.r3, Isa.Reg.r1, Isa.Reg.r2) ] in
+  let t = Pipeline.Ooo.time (Pipeline.Ooo.trace_config ()) ~init:(0, 0) p
+      (Isa.Exec.input ())
+  in
+  Alcotest.(check bool) "completes" true (t > 0)
+
+(* --- Interleaved (PRET) --------------------------------------------------- *)
+
+let outcome_of_workload w index =
+  let p, _ = Isa.Workload.program w in
+  Isa.Exec.run p (List.nth w.Isa.Workload.inputs index)
+
+let test_interleaved_isolation () =
+  let victim = outcome_of_workload (Isa.Workload.crc ~bits:6) 0 in
+  let co_a = outcome_of_workload (Isa.Workload.max_array ~n:6) 0 in
+  let co_b = outcome_of_workload (Isa.Workload.matmul ~n:2) 0 in
+  let time co =
+    match (Pipeline.Interleaved.run ~threads:(victim :: co)).Pipeline.Interleaved.per_thread_cycles with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "no threads"
+  in
+  Alcotest.(check int) "victim time independent of co-runners"
+    (time [ co_a; co_a ]) (time [ co_b; co_b ])
+
+let test_interleaved_slowdown () =
+  let victim = outcome_of_workload (Isa.Workload.crc ~bits:6) 0 in
+  let solo = Pipeline.Interleaved.solo_time victim in
+  let threads = [ victim; victim; victim; victim ] in
+  match (Pipeline.Interleaved.run ~threads).Pipeline.Interleaved.per_thread_cycles with
+  | t :: _ ->
+    Alcotest.(check bool) "interleaving costs roughly the thread count" true
+      (t >= 3 * solo && t <= 5 * solo)
+  | [] -> Alcotest.fail "no threads"
+
+let test_interleaved_single_thread () =
+  let victim = outcome_of_workload (Isa.Workload.crc ~bits:4) 0 in
+  match (Pipeline.Interleaved.run ~threads:[ victim ]).Pipeline.Interleaved.per_thread_cycles with
+  | [ t ] ->
+    Alcotest.(check int) "one thread = solo time" (Pipeline.Interleaved.solo_time victim) t
+  | _ -> Alcotest.fail "expected one thread"
+
+(* --- SMT ------------------------------------------------------------------ *)
+
+let test_smt_priority_isolates_rt () =
+  let rt = outcome_of_workload (Isa.Workload.crc ~bits:6) 0 in
+  let co = outcome_of_workload (Isa.Workload.max_array ~n:8) 0 in
+  let alone = Pipeline.Smt.rt_time Pipeline.Smt.Rt_priority ~rt ~others:[] in
+  let loaded =
+    Pipeline.Smt.rt_time Pipeline.Smt.Rt_priority ~rt ~others:[ co; co; co ]
+  in
+  Alcotest.(check int) "priority RT thread unaffected by co-runners" alone loaded
+
+let test_smt_fair_shares () =
+  let rt = outcome_of_workload (Isa.Workload.crc ~bits:6) 0 in
+  let co = outcome_of_workload (Isa.Workload.crc ~bits:6) 0 in
+  let alone = Pipeline.Smt.rt_time Pipeline.Smt.Fair ~rt ~others:[] in
+  let shared = Pipeline.Smt.rt_time Pipeline.Smt.Fair ~rt ~others:[ co ] in
+  Alcotest.(check bool) "fair SMT slows the RT thread" true (shared > alone)
+
+let test_smt_all_threads_finish () =
+  let a = outcome_of_workload (Isa.Workload.crc ~bits:4) 0 in
+  let b = outcome_of_workload (Isa.Workload.max_array ~n:4) 0 in
+  let result = Pipeline.Smt.run Pipeline.Smt.Fair ~threads:[ a; b ] in
+  List.iter
+    (fun t -> Alcotest.(check bool) "positive completion" true (t > 0))
+    result.Pipeline.Smt.completion
+
+(* --- Scalar5 (five-stage hazard-aware pipeline) ------------------------------ *)
+
+let scalar5_time instrs =
+  let p = straightline instrs in
+  Pipeline.Scalar5.time p (Pipeline.Scalar5.state ()) (Isa.Exec.input ())
+
+let test_scalar5_ideal_throughput () =
+  let open Isa.Instr in
+  (* Independent single-cycle instructions stream at 1/cycle: k instrs
+     (+halt) finish in about k + pipeline depth. *)
+  let k = 10 in
+  let instrs = List.init k (fun i -> Li (Isa.Reg.make (i mod 8), i)) in
+  let t = scalar5_time instrs in
+  Alcotest.(check bool)
+    (Printf.sprintf "near-ideal throughput (%d for %d instrs)" t k)
+    true (t >= k && t <= k + 8)
+
+let test_scalar5_load_use_bubble () =
+  let open Isa.Instr in
+  (* A load immediately consumed costs one extra cycle over a load consumed
+     two instructions later. *)
+  let dependent =
+    [ Li (Isa.Reg.r1, 100); Ld (Isa.Reg.r2, Isa.Reg.r1, 0);
+      Alu (Add, Isa.Reg.r3, Isa.Reg.r2, Isa.Reg.r2); Nop ]
+  in
+  let separated =
+    [ Li (Isa.Reg.r1, 100); Ld (Isa.Reg.r2, Isa.Reg.r1, 0); Nop;
+      Alu (Add, Isa.Reg.r3, Isa.Reg.r2, Isa.Reg.r2) ]
+  in
+  Alcotest.(check int) "immediate use costs exactly the one-cycle bubble"
+    (scalar5_time separated + 1) (scalar5_time dependent);
+  Alcotest.(check bool) "dependent version not faster" true
+    (scalar5_time dependent >= scalar5_time separated)
+
+let test_scalar5_forwarding_beats_no_overlap () =
+  let open Isa.Instr in
+  (* A dependent ALU chain still streams at 1/cycle thanks to forwarding. *)
+  let chain =
+    List.init 8 (fun _ -> Alu (Add, Isa.Reg.r1, Isa.Reg.r1, Isa.Reg.r1))
+  in
+  let p = straightline chain in
+  let seq = Pipeline.Inorder.time p (Pipeline.Inorder.state ()) (Isa.Exec.input ()) in
+  let pipe = scalar5_time chain in
+  Alcotest.(check bool) "pipelined chain beats sequential model" true (pipe < seq)
+
+let test_scalar5_mispredict_counted () =
+  let open Isa.Instr in
+  let p =
+    program_of
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 1));
+        Isa.Program.Ins (Br (Eq, Isa.Reg.r1, Isa.Reg.r1, "end"));
+        Isa.Program.Ins Nop;
+        Isa.Program.Label "end";
+        Isa.Program.Ins Halt ]
+  in
+  let outcome = Isa.Exec.run p (Isa.Exec.input ()) in
+  let result = Pipeline.Scalar5.run p (Pipeline.Scalar5.state ()) outcome in
+  Alcotest.(check int) "forward-taken mispredicted once" 1
+    result.Pipeline.Scalar5.mispredictions;
+  Alcotest.(check bool) "stalls recorded" true (result.Pipeline.Scalar5.stalls > 0)
+
+let prop_scalar5_bounded_by_sequential =
+  QCheck.Test.make
+    ~name:"sequential in-order cost bounds the 5-stage pipeline" ~count:80
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+       let rng = Prelude.Rng.make seed in
+       let w =
+         Prelude.Rng.pick rng
+           [ Isa.Workload.crc ~bits:5; Isa.Workload.max_array ~n:5;
+             Isa.Workload.clamp (); Isa.Workload.fir ~taps:2 ~samples:2;
+             Isa.Workload.popcount ~bits:5 ]
+       in
+       let program, _ = Isa.Workload.program w in
+       let input = Prelude.Rng.pick rng w.Isa.Workload.inputs in
+       let outcome = Isa.Exec.run program input in
+       let seq =
+         (Pipeline.Inorder.run program (Pipeline.Inorder.state ()) outcome)
+           .Pipeline.Inorder.cycles
+       in
+       let pipe =
+         (Pipeline.Scalar5.run program (Pipeline.Scalar5.state ()) outcome)
+           .Pipeline.Scalar5.cycles
+       in
+       pipe <= seq)
+
+let prop_scalar5_monotone_in_start_delay =
+  QCheck.Test.make ~name:"scalar5 completion monotone in start delay"
+    ~count:80
+    QCheck.(pair (int_range 0 100000) (int_range 0 12))
+    (fun (seed, delay) ->
+       let rng = Prelude.Rng.make seed in
+       let w =
+         Prelude.Rng.pick rng
+           [ Isa.Workload.crc ~bits:5; Isa.Workload.bsearch ~n:8;
+             Isa.Workload.fibonacci ~n:6 ]
+       in
+       let program, _ = Isa.Workload.program w in
+       let input = Prelude.Rng.pick rng w.Isa.Workload.inputs in
+       let outcome = Isa.Exec.run program input in
+       let t d =
+         (Pipeline.Scalar5.run ~start_delay:d program (Pipeline.Scalar5.state ())
+            outcome).Pipeline.Scalar5.cycles
+       in
+       t delay <= t (delay + 1))
+
+(* --- Multicore shared bus --------------------------------------------------- *)
+
+let mem_heavy_core n =
+  List.concat (List.init n (fun _ -> [ Pipeline.Multicore.Compute 2; Pipeline.Multicore.Mem ]))
+
+let compute_only_core n = [ Pipeline.Multicore.Compute n ]
+
+let test_multicore_single_core () =
+  (* One core, TDM with itself: compute 2, then a 4-cycle transaction at its
+     slot. *)
+  let times =
+    Pipeline.Multicore.run ~policy:(Pipeline.Multicore.Bus_tdm { slot = 4 })
+      ~service:4 [ [ Pipeline.Multicore.Compute 2; Pipeline.Multicore.Mem ] ]
+  in
+  match times with
+  | [ t ] -> Alcotest.(check bool) "completes promptly" true (t >= 6 && t <= 12)
+  | _ -> Alcotest.fail "expected one core"
+
+let test_multicore_tdm_isolation () =
+  let victim = mem_heavy_core 6 in
+  let run others =
+    match
+      Pipeline.Multicore.run ~policy:(Pipeline.Multicore.Bus_tdm { slot = 4 })
+        ~service:4 (victim :: others)
+    with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "no cores"
+  in
+  Alcotest.(check int) "victim time co-runner-independent"
+    (run [ compute_only_core 5; compute_only_core 5 ])
+    (run [ mem_heavy_core 20; mem_heavy_core 20 ])
+
+let test_multicore_fcfs_interference () =
+  let victim = mem_heavy_core 6 in
+  let run others =
+    match
+      Pipeline.Multicore.run ~policy:Pipeline.Multicore.Bus_fcfs ~service:4
+        (victim :: others)
+    with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "no cores"
+  in
+  Alcotest.(check bool) "heavy co-runners slow the victim" true
+    (run [ mem_heavy_core 20; mem_heavy_core 20 ]
+     > run [ compute_only_core 5; compute_only_core 5 ])
+
+let test_multicore_of_outcome () =
+  let w = Isa.Workload.max_array ~n:4 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    match w.Isa.Workload.inputs with i :: _ -> i | [] -> Alcotest.fail "no input"
+  in
+  let core = Pipeline.Multicore.of_outcome (Isa.Exec.run p input) in
+  let mems =
+    List.length
+      (List.filter (function Pipeline.Multicore.Mem -> true | _ -> false) core)
+  in
+  Alcotest.(check int) "one bus transaction per load" 4 mems
+
+let test_multicore_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "no cores" true
+    (invalid (fun () ->
+         Pipeline.Multicore.run ~policy:Pipeline.Multicore.Bus_fcfs ~service:4 []));
+  Alcotest.(check bool) "service > slot under TDM" true
+    (invalid (fun () ->
+         Pipeline.Multicore.run
+           ~policy:(Pipeline.Multicore.Bus_tdm { slot = 2 }) ~service:4
+           [ compute_only_core 1 ]))
+
+(* --- Trace_util ------------------------------------------------------------ *)
+
+let test_branch_events_directions () =
+  let w = Isa.Workload.branchy ~n:4 in
+  let p, _ = Isa.Workload.program w in
+  let input =
+    match w.Isa.Workload.inputs with i :: _ -> i | [] -> Alcotest.fail "no input"
+  in
+  let events = Pipeline.Trace_util.branch_events p (Isa.Exec.run p input) in
+  Alcotest.(check bool) "some branch events" true (events <> []);
+  (* The loop latch is a backward branch; if-branches are forward. *)
+  Alcotest.(check bool) "both directions present" true
+    (List.exists (fun (e : Branchpred.Predictor.branch_event) -> e.backward) events
+     && List.exists (fun (e : Branchpred.Predictor.branch_event) -> not e.backward)
+       events)
+
+let test_block_signature () =
+  let open Isa.Instr in
+  let p =
+    program_of
+      [ Isa.Program.Ins (Li (Isa.Reg.r1, 1));
+        Isa.Program.Ins (Br (Eq, Isa.Reg.r1, Isa.Reg.r1, "end"));
+        Isa.Program.Ins Nop;
+        Isa.Program.Label "end";
+        Isa.Program.Ins Halt ]
+  in
+  let signature = Pipeline.Trace_util.block_signature (Isa.Exec.run p (Isa.Exec.input ())) in
+  Alcotest.(check (list int)) "dynamic block lengths" [ 2; 1 ] signature
+
+let () =
+  Alcotest.run "pipeline"
+    [ ("latency",
+       [ Alcotest.test_case "classes" `Quick test_latency_classes;
+         Alcotest.test_case "bounds sound" `Quick test_latency_bounds_sound ]);
+      ("mem_system",
+       [ Alcotest.test_case "flat" `Quick test_mem_flat;
+         Alcotest.test_case "cached" `Quick test_mem_cached;
+         Alcotest.test_case "scratchpad" `Quick test_mem_spm ]);
+      ("inorder",
+       [ Alcotest.test_case "sequential cost" `Quick test_inorder_straightline_cost;
+         Alcotest.test_case "compositional timing" `Quick test_inorder_compositional;
+         Alcotest.test_case "mispredict penalty" `Quick
+           test_inorder_mispredict_penalty;
+         Alcotest.test_case "cache state matters" `Quick
+           test_inorder_cache_state_matters ]);
+      ("superscalar",
+       [ Alcotest.test_case "dual issue" `Quick test_superscalar_dual_issue_faster;
+         Alcotest.test_case "RAW chain" `Quick test_superscalar_raw_dependency;
+         Alcotest.test_case "regulation drains" `Quick
+           test_superscalar_regulation_signatures ]);
+      ("ooo-kernel",
+       [ Alcotest.test_case "Equation 4 exact" `Quick test_domino_exact_eq4;
+         Alcotest.test_case "alternate dispatch converges" `Quick
+           test_domino_alternate_dispatch_converges;
+         Alcotest.test_case "impossible op rejected" `Quick
+           test_kernel_rejects_impossible_op ]);
+      ("ooo-trace",
+       [ Alcotest.test_case "virtual traces reset state" `Quick
+           test_ooo_trace_runs_and_vtraces_reset;
+         Alcotest.test_case "mul constrained to U1" `Quick
+           test_ooo_mul_goes_to_unit1 ]);
+      ("interleaved",
+       [ Alcotest.test_case "thread isolation" `Quick test_interleaved_isolation;
+         Alcotest.test_case "throughput sacrifice" `Quick test_interleaved_slowdown;
+         Alcotest.test_case "single thread" `Quick test_interleaved_single_thread ]);
+      ("smt",
+       [ Alcotest.test_case "priority isolates RT" `Quick
+           test_smt_priority_isolates_rt;
+         Alcotest.test_case "fair sharing slows RT" `Quick test_smt_fair_shares;
+         Alcotest.test_case "all threads finish" `Quick test_smt_all_threads_finish ]);
+      ("scalar5",
+       [ Alcotest.test_case "ideal throughput" `Quick test_scalar5_ideal_throughput;
+         Alcotest.test_case "load-use bubble" `Quick test_scalar5_load_use_bubble;
+         Alcotest.test_case "forwarding" `Quick
+           test_scalar5_forwarding_beats_no_overlap;
+         Alcotest.test_case "misprediction accounting" `Quick
+           test_scalar5_mispredict_counted;
+         QCheck_alcotest.to_alcotest prop_scalar5_bounded_by_sequential;
+         QCheck_alcotest.to_alcotest prop_scalar5_monotone_in_start_delay ]);
+      ("multicore",
+       [ Alcotest.test_case "single core" `Quick test_multicore_single_core;
+         Alcotest.test_case "TDM bus isolation" `Quick test_multicore_tdm_isolation;
+         Alcotest.test_case "FCFS interference" `Quick
+           test_multicore_fcfs_interference;
+         Alcotest.test_case "trace-to-core derivation" `Quick
+           test_multicore_of_outcome;
+         Alcotest.test_case "validation" `Quick test_multicore_validation ]);
+      ("trace_util",
+       [ Alcotest.test_case "branch directions" `Quick test_branch_events_directions;
+         Alcotest.test_case "block signature" `Quick test_block_signature ]) ]

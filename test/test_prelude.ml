@@ -1,0 +1,268 @@
+(* Unit and property tests for the prelude: exact rationals, statistics,
+   deterministic RNG, histograms, tables, list utilities. *)
+
+let ratio = Alcotest.testable Prelude.Ratio.pp Prelude.Ratio.equal
+
+let check_ratio = Alcotest.check ratio
+
+(* --- Ratio ------------------------------------------------------------ *)
+
+let test_ratio_normalisation () =
+  check_ratio "6/8 = 3/4" (Prelude.Ratio.make 3 4) (Prelude.Ratio.make 6 8);
+  check_ratio "-6/-8 = 3/4" (Prelude.Ratio.make 3 4) (Prelude.Ratio.make (-6) (-8));
+  check_ratio "6/-8 = -3/4" (Prelude.Ratio.make (-3) 4) (Prelude.Ratio.make 6 (-8));
+  Alcotest.(check int) "num of 0/5" 0 (Prelude.Ratio.num (Prelude.Ratio.make 0 5));
+  Alcotest.(check int) "den of 0/5" 1 (Prelude.Ratio.den (Prelude.Ratio.make 0 5))
+
+let test_ratio_arith () =
+  let open Prelude.Ratio in
+  check_ratio "1/2 + 1/3 = 5/6" (make 5 6) (add (make 1 2) (make 1 3));
+  check_ratio "1/2 - 1/3 = 1/6" (make 1 6) (sub (make 1 2) (make 1 3));
+  check_ratio "2/3 * 3/4 = 1/2" (make 1 2) (mul (make 2 3) (make 3 4));
+  check_ratio "1/2 / 1/4 = 2" (of_int 2) (div (make 1 2) (make 1 4));
+  check_ratio "neg 3/4" (make (-3) 4) (neg (make 3 4));
+  check_ratio "inv 3/4 = 4/3" (make 4 3) (inv (make 3 4))
+
+let test_ratio_division_by_zero () =
+  Alcotest.check_raises "make _ 0" Division_by_zero
+    (fun () -> ignore (Prelude.Ratio.make 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero
+    (fun () -> ignore (Prelude.Ratio.div Prelude.Ratio.one Prelude.Ratio.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero
+    (fun () -> ignore (Prelude.Ratio.inv Prelude.Ratio.zero))
+
+let test_ratio_compare () =
+  let open Prelude.Ratio in
+  Alcotest.(check bool) "1/3 < 1/2" true (make 1 3 < make 1 2);
+  Alcotest.(check bool) "2/4 = 1/2" true (make 2 4 = make 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true (make (-1) 2 < make 1 3);
+  check_ratio "min" (make 1 3) (min (make 1 3) (make 1 2));
+  check_ratio "max" (make 1 2) (max (make 1 3) (make 1 2))
+
+let test_ratio_to_string () =
+  Alcotest.(check string) "int rendering" "3"
+    (Prelude.Ratio.to_string (Prelude.Ratio.of_int 3));
+  Alcotest.(check string) "fraction rendering" "3/4"
+    (Prelude.Ratio.to_string (Prelude.Ratio.make 3 4))
+
+let small_ratio =
+  let open QCheck in
+  map
+    (fun (n, d) -> Prelude.Ratio.make n (1 + abs d))
+    (pair (int_range (-60) 60) (int_range 0 60))
+
+let prop_ratio_add_commutative =
+  QCheck.Test.make ~name:"ratio addition commutes" ~count:200
+    (QCheck.pair small_ratio small_ratio)
+    (fun (a, b) ->
+       Prelude.Ratio.equal (Prelude.Ratio.add a b) (Prelude.Ratio.add b a))
+
+let prop_ratio_mul_associative =
+  QCheck.Test.make ~name:"ratio multiplication associates" ~count:200
+    (QCheck.triple small_ratio small_ratio small_ratio)
+    (fun (a, b, c) ->
+       Prelude.Ratio.equal
+         (Prelude.Ratio.mul a (Prelude.Ratio.mul b c))
+         (Prelude.Ratio.mul (Prelude.Ratio.mul a b) c))
+
+let prop_ratio_distributive =
+  QCheck.Test.make ~name:"multiplication distributes over addition" ~count:200
+    (QCheck.triple small_ratio small_ratio small_ratio)
+    (fun (a, b, c) ->
+       Prelude.Ratio.equal
+         (Prelude.Ratio.mul a (Prelude.Ratio.add b c))
+         (Prelude.Ratio.add (Prelude.Ratio.mul a b) (Prelude.Ratio.mul a c)))
+
+let prop_ratio_add_neg =
+  QCheck.Test.make ~name:"a + (-a) = 0" ~count:200 small_ratio
+    (fun a ->
+       Prelude.Ratio.equal Prelude.Ratio.zero
+         (Prelude.Ratio.add a (Prelude.Ratio.neg a)))
+
+let prop_ratio_normalised =
+  QCheck.Test.make ~name:"results are in lowest terms" ~count:200
+    (QCheck.pair small_ratio small_ratio)
+    (fun (a, b) ->
+       let r = Prelude.Ratio.mul a b in
+       let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+       Prelude.Ratio.den r > 0
+       && gcd (abs (Prelude.Ratio.num r)) (Prelude.Ratio.den r) <= 1
+          || Prelude.Ratio.num r = 0)
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let s = Prelude.Stats.summarize_ints [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "count" 5 s.Prelude.Stats.count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Prelude.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Prelude.Stats.max;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Prelude.Stats.mean;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.Prelude.Stats.median;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) s.Prelude.Stats.stddev
+
+let test_stats_even_median () =
+  let s = Prelude.Stats.summarize_ints [ 4; 1; 3; 2 ] in
+  Alcotest.(check (float 1e-9)) "median of even count" 2.5 s.Prelude.Stats.median
+
+let test_stats_single () =
+  let s = Prelude.Stats.summarize_ints [ 7 ] in
+  Alcotest.(check (float 1e-9)) "mean" 7.0 s.Prelude.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Prelude.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "spread" 0.0 (Prelude.Stats.spread s)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Stats.summarize: empty sample list")
+    (fun () -> ignore (Prelude.Stats.summarize []))
+
+let test_min_max_int_list () =
+  Alcotest.(check int) "min" (-3) (Prelude.Stats.min_int_list [ 5; -3; 7 ]);
+  Alcotest.(check int) "max" 7 (Prelude.Stats.max_int_list [ 5; -3; 7 ])
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Prelude.Rng.make 42 and b = Prelude.Rng.make 42 in
+  let xs = List.init 20 (fun _ -> Prelude.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Prelude.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_bounds () =
+  let rng = Prelude.Rng.make 7 in
+  List.iter
+    (fun _ ->
+       let v = Prelude.Rng.int rng 13 in
+       Alcotest.(check bool) "in [0, 13)" true (v >= 0 && v < 13))
+    (Prelude.Listx.range 0 200)
+
+let test_rng_pick_shuffle () =
+  let rng = Prelude.Rng.make 11 in
+  let items = [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun _ ->
+       Alcotest.(check bool) "pick from list" true
+         (List.mem (Prelude.Rng.pick rng items) items))
+    (Prelude.Listx.range 0 20);
+  let shuffled = Prelude.Rng.shuffle rng items in
+  Alcotest.(check (list int)) "shuffle is a permutation"
+    items (List.sort Stdlib.compare shuffled)
+
+let test_rng_invalid_bound () =
+  let rng = Prelude.Rng.make 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prelude.Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let rng = Prelude.Rng.make 3 in
+  let child = Prelude.Rng.split rng in
+  let a = Prelude.Rng.int rng 1000 and b = Prelude.Rng.int child 1000 in
+  (* Not a strong statistical test; just check both streams advance. *)
+  Alcotest.(check bool) "streams usable" true (a >= 0 && b >= 0)
+
+(* --- Histogram -------------------------------------------------------- *)
+
+let test_histogram_bins () =
+  let h = Prelude.Histogram.of_samples ~bins:2 [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "total" 4 (Prelude.Histogram.total h);
+  Alcotest.(check int) "min" 0 (Prelude.Histogram.min_sample h);
+  Alcotest.(check int) "max" 3 (Prelude.Histogram.max_sample h);
+  let counts = List.map (fun (_, _, c) -> c) (Prelude.Histogram.bins h) in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts
+
+let test_histogram_single_value () =
+  let h = Prelude.Histogram.of_samples ~bins:4 [ 5; 5; 5 ] in
+  Alcotest.(check int) "total" 3 (Prelude.Histogram.total h)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_histogram_render_markers () =
+  let h = Prelude.Histogram.of_samples ~bins:2 [ 1; 2; 3; 4 ] in
+  let rendered = Prelude.Histogram.render ~markers:[ ("WCET", 4) ] h in
+  Alcotest.(check bool) "marker present" true (string_contains rendered "WCET")
+
+let prop_histogram_conserves_samples =
+  QCheck.Test.make ~name:"histogram bin counts sum to sample count" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 50) (int_range (-100) 100)))
+    (fun (bins, samples) ->
+       QCheck.assume (samples <> []);
+       let h = Prelude.Histogram.of_samples ~bins samples in
+       Prelude.Listx.sum (List.map (fun (_, _, c) -> c) (Prelude.Histogram.bins h))
+       = List.length samples)
+
+(* --- Table / Listx ---------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Prelude.Table.make ~header:[ "a"; "bb" ] in
+  Prelude.Table.add_row t [ "xx"; "y" ];
+  Prelude.Table.add_separator t;
+  Prelude.Table.add_row t [ "z" ];
+  let rendered = Prelude.Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "|")
+
+let test_listx_range () =
+  Alcotest.(check (list int)) "range 2 5" [ 2; 3; 4 ] (Prelude.Listx.range 2 5);
+  Alcotest.(check (list int)) "empty range" [] (Prelude.Listx.range 5 2)
+
+let test_listx_cartesian_pairs () =
+  Alcotest.(check int) "cartesian size" 6
+    (List.length (Prelude.Listx.cartesian [ 1; 2 ] [ 3; 4; 5 ]));
+  Alcotest.(check int) "pairs size" 4
+    (List.length (Prelude.Listx.pairs [ 1; 2 ]))
+
+let test_listx_take_uniq_sum () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Prelude.Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1 ] (Prelude.Listx.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "uniq" [ 1; 2; 3 ]
+    (Prelude.Listx.uniq Stdlib.compare [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check int) "sum" 6 (Prelude.Listx.sum [ 1; 2; 3 ])
+
+let test_listx_transpose () =
+  Alcotest.(check (list (list int))) "transpose"
+    [ [ 1; 3 ]; [ 2; 4 ] ]
+    (Prelude.Listx.transpose [ [ 1; 2 ]; [ 3; 4 ] ])
+
+let () =
+  Alcotest.run "prelude"
+    [ ("ratio",
+       [ Alcotest.test_case "normalisation" `Quick test_ratio_normalisation;
+         Alcotest.test_case "arithmetic" `Quick test_ratio_arith;
+         Alcotest.test_case "division by zero" `Quick test_ratio_division_by_zero;
+         Alcotest.test_case "comparison" `Quick test_ratio_compare;
+         Alcotest.test_case "rendering" `Quick test_ratio_to_string;
+         QCheck_alcotest.to_alcotest prop_ratio_add_commutative;
+         QCheck_alcotest.to_alcotest prop_ratio_mul_associative;
+         QCheck_alcotest.to_alcotest prop_ratio_distributive;
+         QCheck_alcotest.to_alcotest prop_ratio_add_neg;
+         QCheck_alcotest.to_alcotest prop_ratio_normalised ]);
+      ("stats",
+       [ Alcotest.test_case "basic summary" `Quick test_stats_basic;
+         Alcotest.test_case "even median" `Quick test_stats_even_median;
+         Alcotest.test_case "single sample" `Quick test_stats_single;
+         Alcotest.test_case "empty input" `Quick test_stats_empty;
+         Alcotest.test_case "min/max over ints" `Quick test_min_max_int_list ]);
+      ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
+         Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+         Alcotest.test_case "split" `Quick test_rng_split_independent ]);
+      ("histogram",
+       [ Alcotest.test_case "binning" `Quick test_histogram_bins;
+         Alcotest.test_case "single value" `Quick test_histogram_single_value;
+         Alcotest.test_case "marker rendering" `Quick test_histogram_render_markers;
+         QCheck_alcotest.to_alcotest prop_histogram_conserves_samples ]);
+      ("table+listx",
+       [ Alcotest.test_case "table render" `Quick test_table_render;
+         Alcotest.test_case "range" `Quick test_listx_range;
+         Alcotest.test_case "cartesian/pairs" `Quick test_listx_cartesian_pairs;
+         Alcotest.test_case "take/uniq/sum" `Quick test_listx_take_uniq_sum;
+         Alcotest.test_case "transpose" `Quick test_listx_transpose ]) ]

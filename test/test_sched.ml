@@ -1,0 +1,189 @@
+(* Tests for the scheduling substrate: task model, cyclic-executive table
+   construction, preemptive fixed-priority simulation, and the
+   context-independence property of static scheduling. *)
+
+let simple_set () =
+  [ Sched.Task.make ~name:"hi" ~period:10 ~bcet:1 ~wcet:3 ~priority:0;
+    Sched.Task.make ~name:"lo" ~period:20 ~bcet:2 ~wcet:5 ~priority:1 ]
+
+(* --- Task model -------------------------------------------------------- *)
+
+let test_task_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bcet > wcet rejected" true
+    (invalid (fun () ->
+         Sched.Task.make ~name:"x" ~period:10 ~bcet:5 ~wcet:3 ~priority:0));
+  Alcotest.(check bool) "wcet > period rejected" true
+    (invalid (fun () ->
+         Sched.Task.make ~name:"x" ~period:4 ~bcet:1 ~wcet:5 ~priority:0));
+  Alcotest.(check bool) "zero bcet rejected" true
+    (invalid (fun () ->
+         Sched.Task.make ~name:"x" ~period:4 ~bcet:0 ~wcet:2 ~priority:0))
+
+let test_hyperperiod () =
+  Alcotest.(check int) "lcm(10, 20)" 20 (Sched.Task.hyperperiod (simple_set ()));
+  let odd =
+    [ Sched.Task.make ~name:"a" ~period:6 ~bcet:1 ~wcet:1 ~priority:0;
+      Sched.Task.make ~name:"b" ~period:8 ~bcet:1 ~wcet:1 ~priority:1 ]
+  in
+  Alcotest.(check int) "lcm(6, 8)" 24 (Sched.Task.hyperperiod odd)
+
+let test_jobs_enumeration () =
+  let jobs = Sched.Task.jobs_in_hyperperiod (simple_set ()) in
+  Alcotest.(check int) "2 + 1 jobs" 3 (List.length jobs);
+  (match jobs with
+   | (first, r0) :: _ ->
+     Alcotest.(check string) "priority first at time 0" "hi" first.Sched.Task.name;
+     Alcotest.(check int) "released at 0" 0 r0
+   | [] -> Alcotest.fail "no jobs")
+
+let test_scenarios () =
+  let t = Sched.Task.make ~name:"x" ~period:10 ~bcet:2 ~wcet:6 ~priority:0 in
+  Alcotest.(check int) "all_bcet" 2 (Sched.Task.all_bcet t ~job_index:0);
+  Alcotest.(check int) "all_wcet" 6 (Sched.Task.all_wcet t ~job_index:3);
+  let d = Sched.Task.random_demand ~seed:5 t ~job_index:1 in
+  Alcotest.(check bool) "random within range" true (d >= 2 && d <= 6);
+  Alcotest.(check int) "random is deterministic" d
+    (Sched.Task.random_demand ~seed:5 t ~job_index:1);
+  Alcotest.(check int) "clamp" 6 (Sched.Task.clamp_demand t 100)
+
+(* --- Cyclic executive --------------------------------------------------- *)
+
+let test_cyclic_windows_meet_deadlines () =
+  let tasks = simple_set () in
+  let table = Sched.Cyclic.build tasks in
+  List.iter
+    (fun (w : Sched.Cyclic.window) ->
+       Alcotest.(check bool) "window starts after release" true
+         (w.Sched.Cyclic.start >= w.Sched.Cyclic.release);
+       Alcotest.(check bool) "reservation fits before the deadline" true
+         (w.Sched.Cyclic.start + w.Sched.Cyclic.task.Sched.Task.wcet
+          <= w.Sched.Cyclic.release + w.Sched.Cyclic.task.Sched.Task.period))
+    (Sched.Cyclic.windows table)
+
+let test_cyclic_windows_disjoint () =
+  let table = Sched.Cyclic.build (simple_set ()) in
+  let intervals =
+    List.map
+      (fun (w : Sched.Cyclic.window) ->
+         (w.Sched.Cyclic.start,
+          w.Sched.Cyclic.start + w.Sched.Cyclic.task.Sched.Task.wcet))
+      (Sched.Cyclic.windows table)
+    |> List.sort Stdlib.compare
+  in
+  let rec disjoint = function
+    | (_, e) :: ((s, _) :: _ as rest) -> e <= s && disjoint rest
+    | [] | [ _ ] -> true
+  in
+  Alcotest.(check bool) "reservations do not overlap" true (disjoint intervals)
+
+let test_cyclic_infeasible () =
+  let overloaded =
+    [ Sched.Task.make ~name:"a" ~period:4 ~bcet:3 ~wcet:3 ~priority:0;
+      Sched.Task.make ~name:"b" ~period:4 ~bcet:3 ~wcet:3 ~priority:1 ]
+  in
+  Alcotest.(check bool) "overload detected" true
+    (try ignore (Sched.Cyclic.build overloaded); false
+     with Sched.Cyclic.Infeasible _ -> true)
+
+let test_cyclic_context_independence () =
+  let tasks = simple_set () in
+  let table = Sched.Cyclic.build tasks in
+  let lo scenario = List.assoc "lo" (Sched.Cyclic.responses table scenario) in
+  (* lo's own demand is in [2,5]: under all_bcet it runs 2, under all_wcet 5;
+     pin it by a scenario that fixes lo and varies hi. *)
+  let vary_hi demand t ~job_index =
+    ignore job_index;
+    if t.Sched.Task.name = "hi" then demand else 4
+  in
+  Alcotest.(check (list int)) "lo response invariant under hi's demand"
+    (lo (vary_hi 1)) (lo (vary_hi 3))
+
+(* --- Fixed priority ------------------------------------------------------ *)
+
+let test_fp_no_interference_when_alone () =
+  let solo = [ Sched.Task.make ~name:"only" ~period:10 ~bcet:4 ~wcet:4 ~priority:0 ] in
+  let responses = Sched.Fixed_priority.responses solo Sched.Task.all_wcet in
+  Alcotest.(check (list int)) "response = own demand" [ 4 ]
+    (List.assoc "only" responses)
+
+let test_fp_preemption () =
+  (* lo releases at 0 and runs; hi releases at 0 too and wins; lo finishes
+     after hi. *)
+  let tasks = simple_set () in
+  let responses = Sched.Fixed_priority.responses tasks Sched.Task.all_wcet in
+  let hi = List.assoc "hi" responses and lo = List.assoc "lo" responses in
+  Alcotest.(check (list int)) "hi responses = own wcet" [ 3; 3 ] hi;
+  Alcotest.(check (list int)) "lo delayed by hi" [ 8 ] lo
+
+let test_fp_context_sensitivity () =
+  let tasks = simple_set () in
+  let lo scenario =
+    List.assoc "lo" (Sched.Fixed_priority.responses tasks scenario)
+  in
+  Alcotest.(check bool) "lo response depends on hi's demand" true
+    (lo Sched.Task.all_bcet <> lo Sched.Task.all_wcet)
+
+let test_fp_deadline_miss () =
+  let tight =
+    [ Sched.Task.make ~name:"a" ~period:4 ~bcet:3 ~wcet:3 ~priority:0;
+      Sched.Task.make ~name:"b" ~period:8 ~bcet:4 ~wcet:4 ~priority:1 ]
+  in
+  Alcotest.(check bool) "overrun detected" true
+    (try
+       ignore (Sched.Fixed_priority.responses tight Sched.Task.all_wcet);
+       false
+     with Sched.Fixed_priority.Deadline_miss _ -> true)
+
+let prop_fp_response_within_demand_bounds =
+  QCheck.Test.make ~name:"responses at least the own demand" ~count:100
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+       let tasks = simple_set () in
+       let scenario = Sched.Task.random_demand ~seed in
+       let responses = Sched.Fixed_priority.responses tasks scenario in
+       List.for_all
+         (fun t ->
+            List.for_all
+              (fun r -> r >= t.Sched.Task.bcet && r <= t.Sched.Task.period)
+              (List.assoc t.Sched.Task.name responses))
+         tasks)
+
+let prop_cyclic_beats_nothing_on_spread =
+  QCheck.Test.make ~name:"cyclic victim spread always zero across seeds" ~count:50
+    QCheck.(pair (int_range 0 10000) (int_range 0 10000))
+    (fun (s1, s2) ->
+       let tasks = simple_set () in
+       let table = Sched.Cyclic.build tasks in
+       let lo seed =
+         let scenario t ~job_index =
+           if t.Sched.Task.name = "hi" then
+             Sched.Task.random_demand ~seed t ~job_index
+           else 4
+         in
+         List.assoc "lo" (Sched.Cyclic.responses table scenario)
+       in
+       lo s1 = lo s2)
+
+let () =
+  Alcotest.run "sched"
+    [ ("task",
+       [ Alcotest.test_case "validation" `Quick test_task_validation;
+         Alcotest.test_case "hyperperiod" `Quick test_hyperperiod;
+         Alcotest.test_case "job enumeration" `Quick test_jobs_enumeration;
+         Alcotest.test_case "scenarios" `Quick test_scenarios ]);
+      ("cyclic",
+       [ Alcotest.test_case "deadlines met" `Quick
+           test_cyclic_windows_meet_deadlines;
+         Alcotest.test_case "windows disjoint" `Quick test_cyclic_windows_disjoint;
+         Alcotest.test_case "infeasible detected" `Quick test_cyclic_infeasible;
+         Alcotest.test_case "context independence" `Quick
+           test_cyclic_context_independence;
+         QCheck_alcotest.to_alcotest prop_cyclic_beats_nothing_on_spread ]);
+      ("fixed-priority",
+       [ Alcotest.test_case "solo task" `Quick test_fp_no_interference_when_alone;
+         Alcotest.test_case "preemption" `Quick test_fp_preemption;
+         Alcotest.test_case "context sensitivity" `Quick
+           test_fp_context_sensitivity;
+         Alcotest.test_case "deadline miss" `Quick test_fp_deadline_miss;
+         QCheck_alcotest.to_alcotest prop_fp_response_within_demand_bounds ]) ]

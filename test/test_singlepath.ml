@@ -1,0 +1,223 @@
+(* Tests for the single-path transformation: semantic preservation,
+   structural guarantees (no branches left), timing input-independence, and
+   the documented restrictions. *)
+
+let machine = Pipeline.Inorder.state ()
+
+let times_and_results (w : Isa.Workload.t) =
+  let p, _ = Isa.Workload.program w in
+  List.map
+    (fun input ->
+       let outcome = Isa.Exec.run p input in
+       let time = Pipeline.Inorder.time p machine input in
+       let results =
+         List.map (Isa.Exec.result_reg outcome) w.Isa.Workload.result_regs
+       in
+       (time, results))
+    w.Isa.Workload.inputs
+
+let transformable =
+  [ (fun () -> Isa.Workload.max_array ~n:8);
+    (fun () -> Isa.Workload.clamp ());
+    (fun () -> Isa.Workload.crc ~bits:6);
+    (fun () -> Isa.Workload.branchy ~n:6);
+    (fun () -> Isa.Workload.popcount ~bits:6) ]
+
+let test_fibonacci_already_single_path () =
+  let w = Isa.Workload.fibonacci ~n:10 in
+  List.iter
+    (fun (f : Isa.Ast.func) ->
+       Alcotest.(check bool) "no branches in the source" true
+         (Singlepath.Transform.is_single_path f.Isa.Ast.body))
+    w.Isa.Workload.funcs;
+  (* The transformation is the identity-modulo-name on such programs. *)
+  let sp = Singlepath.Transform.transform w in
+  let time workload =
+    let p, _ = Isa.Workload.program workload in
+    Pipeline.Inorder.time p machine (Isa.Exec.input ())
+  in
+  Alcotest.(check int) "timing unchanged" (time w) (time sp)
+
+let test_results_preserved () =
+  List.iter
+    (fun make ->
+       let w = make () in
+       let sp = Singlepath.Transform.transform w in
+       let original = times_and_results w in
+       let transformed = times_and_results sp in
+       List.iter2
+         (fun (_, r_orig) (_, r_sp) ->
+            Alcotest.(check (list int)) (w.Isa.Workload.name ^ ": results equal")
+              r_orig r_sp)
+         original transformed)
+    transformable
+
+let test_single_path_structure () =
+  List.iter
+    (fun make ->
+       let w = make () in
+       let sp = Singlepath.Transform.transform w in
+       List.iter
+         (fun (f : Isa.Ast.func) ->
+            Alcotest.(check bool) (w.Isa.Workload.name ^ ": no branches left")
+              true (Singlepath.Transform.is_single_path f.Isa.Ast.body))
+         sp.Isa.Workload.funcs)
+    transformable
+
+let test_constant_time () =
+  List.iter
+    (fun make ->
+       let w = make () in
+       let sp = Singlepath.Transform.transform w in
+       let times = List.map fst (times_and_results sp) in
+       match times with
+       | [] -> Alcotest.fail "no inputs"
+       | first :: rest ->
+         List.iter
+           (fun t ->
+              Alcotest.(check int)
+                (w.Isa.Workload.name ^ ": identical time for every input")
+                first t)
+           rest)
+    transformable
+
+let test_original_varies () =
+  (* Sanity: the originals do vary, otherwise the transformation proves
+     nothing. *)
+  List.iter
+    (fun make ->
+       let w = make () in
+       let times = List.map fst (times_and_results w) in
+       Alcotest.(check bool) (w.Isa.Workload.name ^ ": branchy version varies")
+         true
+         (Prelude.Stats.max_int_list times > Prelude.Stats.min_int_list times))
+    transformable
+
+let test_same_instruction_sequence () =
+  (* Stronger than constant time: every input executes the same pc
+     sequence. *)
+  let w = Isa.Workload.clamp () in
+  let sp = Singlepath.Transform.transform w in
+  let p, _ = Isa.Workload.program sp in
+  let pcs input =
+    Array.to_list
+      (Array.map (fun (ev : Isa.Exec.event) -> ev.Isa.Exec.pc)
+         (Isa.Exec.run p input).Isa.Exec.trace)
+  in
+  match sp.Isa.Workload.inputs with
+  | first :: rest ->
+    let reference = pcs first in
+    List.iter
+      (fun input ->
+         Alcotest.(check (list int)) "identical path" reference (pcs input))
+      rest
+  | [] -> Alcotest.fail "no inputs"
+
+let test_while_rejected () =
+  let w = Isa.Workload.bsearch ~n:8 in
+  Alcotest.(check bool) "data-dependent loop rejected" true
+    (try ignore (Singlepath.Transform.transform w); false
+     with Singlepath.Transform.Unsupported _ -> true)
+
+let test_store_in_arm_rejected () =
+  let w = Isa.Workload.bubble_sort ~n:3 in
+  Alcotest.(check bool) "store inside an if-arm rejected" true
+    (try ignore (Singlepath.Transform.transform w); false
+     with Singlepath.Transform.Unsupported _ -> true)
+
+let test_too_many_writes_rejected () =
+  let open Isa.Instr in
+  let body =
+    Isa.Ast.If
+      ({ Isa.Ast.cmp = Lt; ra = Isa.Reg.r1; rb = Isa.Reg.r2 },
+       Isa.Ast.Block
+         [ Li (Isa.Reg.r3, 1); Li (Isa.Reg.r4, 2); Li (Isa.Reg.r5, 3) ],
+       Isa.Ast.Seq [])
+  in
+  Alcotest.(check bool) "three written registers rejected" true
+    (try ignore (Singlepath.Transform.transform_ast body); false
+     with Singlepath.Transform.Unsupported _ -> true)
+
+let test_nested_if_rejected () =
+  let open Isa.Instr in
+  let inner =
+    Isa.Ast.If
+      ({ Isa.Ast.cmp = Lt; ra = Isa.Reg.r1; rb = Isa.Reg.r2 },
+       Isa.Ast.Block [ Li (Isa.Reg.r3, 1) ], Isa.Ast.Seq [])
+  in
+  let outer =
+    Isa.Ast.If
+      ({ Isa.Ast.cmp = Lt; ra = Isa.Reg.r2; rb = Isa.Reg.r1 },
+       inner, Isa.Ast.Seq [])
+  in
+  Alcotest.(check bool) "nested if rejected (scratch clobbering)" true
+    (try ignore (Singlepath.Transform.transform_ast outer); false
+     with Singlepath.Transform.Unsupported _ -> true)
+
+let test_counted_loops_kept () =
+  let w = Isa.Workload.max_array ~n:5 in
+  let sp = Singlepath.Transform.transform w in
+  let rec has_loop = function
+    | Isa.Ast.Loop _ -> true
+    | Isa.Ast.Seq nodes -> List.exists has_loop nodes
+    | Isa.Ast.Block _ | Isa.Ast.Call _ -> false
+    | Isa.Ast.If (_, a, b) -> has_loop a || has_loop b
+    | Isa.Ast.While { body; _ } -> has_loop body
+  in
+  match sp.Isa.Workload.funcs with
+  | [ f ] -> Alcotest.(check bool) "counted loop survives" true (has_loop f.Isa.Ast.body)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_name_suffix () =
+  let w = Isa.Workload.clamp () in
+  let sp = Singlepath.Transform.transform w in
+  Alcotest.(check string) "name suffixed" "clamp_sp" sp.Isa.Workload.name
+
+let prop_equivalence_random_clamps =
+  (* Random clamp inputs beyond the curated set. *)
+  QCheck.Test.make ~name:"clamp_sp equals clamp on random inputs" ~count:200
+    QCheck.(int_range (-1000) 1000)
+    (fun v ->
+       let w = Isa.Workload.clamp () in
+       let sp = Singlepath.Transform.transform w in
+       let run workload =
+         let p, _ = Isa.Workload.program workload in
+         Isa.Exec.result_reg
+           (Isa.Exec.run p (Isa.Exec.input ~regs:[ (Isa.Reg.r1, v) ] ()))
+           Isa.Reg.r1
+       in
+       run w = run sp)
+
+let prop_crc_sp_constant_time_random =
+  QCheck.Test.make ~name:"crc_sp takes identical time on random words" ~count:60
+    QCheck.(pair (int_range 0 65535) (int_range 0 65535))
+    (fun (a, b) ->
+       let sp = Singlepath.Transform.transform (Isa.Workload.crc ~bits:6) in
+       let p, _ = Isa.Workload.program sp in
+       let t v =
+         Pipeline.Inorder.time p machine (Isa.Exec.input ~regs:[ (Isa.Reg.r1, v) ] ())
+       in
+       t a = t b)
+
+let () =
+  Alcotest.run "singlepath"
+    [ ("semantics",
+       [ Alcotest.test_case "results preserved" `Quick test_results_preserved;
+         Alcotest.test_case "structure is single-path" `Quick
+           test_single_path_structure;
+         Alcotest.test_case "constant time" `Quick test_constant_time;
+         Alcotest.test_case "originals vary" `Quick test_original_varies;
+         Alcotest.test_case "identical instruction path" `Quick
+           test_same_instruction_sequence;
+         QCheck_alcotest.to_alcotest prop_equivalence_random_clamps;
+         QCheck_alcotest.to_alcotest prop_crc_sp_constant_time_random ]);
+      ("restrictions",
+       [ Alcotest.test_case "while rejected" `Quick test_while_rejected;
+         Alcotest.test_case "store in arm rejected" `Quick
+           test_store_in_arm_rejected;
+         Alcotest.test_case "write-set limit" `Quick test_too_many_writes_rejected;
+         Alcotest.test_case "nested if rejected" `Quick test_nested_if_rejected;
+         Alcotest.test_case "counted loops kept" `Quick test_counted_loops_kept;
+         Alcotest.test_case "fibonacci already single-path" `Quick
+           test_fibonacci_already_single_path;
+         Alcotest.test_case "naming" `Quick test_name_suffix ]) ]
