@@ -2,11 +2,17 @@
 
    Part 1 regenerates every table and figure of the paper: Figure 1, the
    Equation-4 series, every row of Tables 1 and 2, the related-work results,
-   and the ablation studies — each printed with its reproduction checks.
+   and the ablation studies — each printed with its reproduction checks and
+   per-experiment instrumentation (wall clock, Q*I cells, kernel evals).
 
    Part 2 is the Bechamel microbenchmark suite: one [Test.make] per paper
    artefact, timing the computational kernel behind that experiment, so
-   regressions in the simulators and analyses are visible. *)
+   regressions in the simulators and analyses are visible.
+
+   Part 3 demonstrates the parallel T_p(q,i) evaluation engine: the two
+   heaviest exhaustive experiments (EXT.ATLAS and RW.CACHE) timed at jobs=1
+   and jobs=N, with the results checked bit-identical. Pass [--jobs N] to
+   override N (default: Domain.recommended_domain_count). *)
 
 open Bechamel
 open Toolkit
@@ -235,7 +241,48 @@ let run_microbenchmarks () =
        Printf.printf "%-40s %s ns/run\n" name estimate)
     (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
 
+(* --- Part 3: parallel-engine speedup on the exhaustive experiments. ----- *)
+
+let time_run f =
+  let started = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. started)
+
+let run_speedup_suite jobs =
+  Printf.printf
+    "--- Part 3: parallel evaluation engine (jobs=1 vs jobs=%d) ---\n" jobs;
+  let cases =
+    [ ("ext_atlas", fun () -> Predictability.Exp_atlas.run ());
+      ("rw_cache_metrics", fun () -> Predictability.Exp_cache_metrics.run ()) ]
+  in
+  List.iter
+    (fun (name, runner) ->
+       Prelude.Parallel.set_default_jobs 1;
+       let seq_outcome, seq_s = time_run runner in
+       Prelude.Parallel.set_default_jobs jobs;
+       let par_outcome, par_s = time_run runner in
+       Printf.printf
+         "%-20s jobs=1: %.3fs   jobs=%d: %.3fs   speedup: %.2fx   \
+          bit-identical: %b\n%!"
+         name seq_s jobs par_s
+         (if par_s > 0. then seq_s /. par_s else Float.infinity)
+         (seq_outcome = par_outcome))
+    cases;
+  Prelude.Parallel.set_default_jobs jobs
+
+let parse_jobs () =
+  let jobs = ref (Prelude.Parallel.recommended_jobs ()) in
+  let args =
+    [ ("--jobs", Arg.Set_int jobs,
+       "N  worker domains for Part 3 (default: recommended_domain_count)") ]
+  in
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "bench [--jobs N]";
+  Stdlib.max 1 !jobs
+
 let () =
+  let jobs = parse_jobs () in
   print_endline "=== Predlab benchmark harness ===";
   print_endline "--- Part 1: regenerate every figure and table of the paper ---";
   print_newline ();
@@ -243,17 +290,24 @@ let () =
   print_string (Predictability.Survey.render Predictability.Survey.table1);
   print_string (Predictability.Survey.render Predictability.Survey.table2);
   print_newline ();
-  let outcomes = Predictability.Experiments.run_all () in
+  let results = Predictability.Experiments.run_all ~jobs () in
   List.iter
-    (fun o ->
-       print_string (Predictability.Report.render o);
+    (fun { Predictability.Experiments.outcome; timing } ->
+       print_string (Predictability.Report.render outcome);
+       Printf.printf "  [%s]\n" (Predictability.Report.timing_string timing);
        print_newline ())
-    outcomes;
+    results;
   let failed =
-    List.filter (fun o -> not (Predictability.Report.all_passed o)) outcomes
+    List.filter
+      (fun r ->
+         not (Predictability.Report.all_passed
+                r.Predictability.Experiments.outcome))
+      results
   in
   Printf.printf "Reproduction summary: %d/%d experiments passed all checks\n\n"
-    (List.length outcomes - List.length failed)
-    (List.length outcomes);
+    (List.length results - List.length failed)
+    (List.length results);
+  run_speedup_suite jobs;
+  print_newline ();
   run_microbenchmarks ();
   if failed <> [] then exit 1

@@ -1,34 +1,90 @@
 (* predlab — command-line front end to the predictability laboratory:
    list/run the experiments that reproduce the paper's figures and tables,
-   and print the survey tables. *)
+   print the survey tables, and summarise per-experiment cost. *)
 
 let list_experiments () =
   List.iter
     (fun (id, title, _) -> Printf.printf "%-10s %s\n" id title)
     Predictability.Experiments.all
 
-let run_one id =
-  match
-    List.find_opt (fun (candidate, _, _) -> candidate = id)
-      Predictability.Experiments.all
-  with
-  | None ->
-    Printf.eprintf "unknown experiment %S; try `predlab list`\n" id;
+let apply_jobs jobs = Prelude.Parallel.set_default_jobs jobs
+
+let run_one jobs id =
+  apply_jobs jobs;
+  match Predictability.Experiments.lookup id with
+  | Error message ->
+    Printf.eprintf "%s\n" message;
     exit 2
-  | Some (_, _, runner) ->
-    let outcome = runner () in
+  | Ok _ ->
+    let { Predictability.Experiments.outcome; timing } =
+      Predictability.Experiments.run_timed id
+    in
     print_string (Predictability.Report.render outcome);
+    Printf.printf "  [%s]\n" (Predictability.Report.timing_string timing);
     if not (Predictability.Report.all_passed outcome) then exit 1
 
-let run_all () =
-  let outcomes = Predictability.Experiments.run_all () in
-  List.iter (fun o -> print_string (Predictability.Report.render o); print_newline ()) outcomes;
+let print_results results =
+  List.iter
+    (fun { Predictability.Experiments.outcome; timing } ->
+       print_string (Predictability.Report.render outcome);
+       Printf.printf "  [%s]\n" (Predictability.Report.timing_string timing);
+       print_newline ())
+    results
+
+let run_all jobs =
+  apply_jobs jobs;
+  let results = Predictability.Experiments.run_all ~jobs () in
+  print_results results;
   let failed =
-    List.filter (fun o -> not (Predictability.Report.all_passed o)) outcomes
+    List.filter
+      (fun r ->
+         not (Predictability.Report.all_passed
+                r.Predictability.Experiments.outcome))
+      results
   in
-  Printf.printf "%d/%d experiments fully passed their checks\n"
-    (List.length outcomes - List.length failed) (List.length outcomes);
+  Printf.printf "%d/%d experiments fully passed their checks (jobs=%d)\n"
+    (List.length results - List.length failed) (List.length results) jobs;
   if failed <> [] then exit 1
+
+let stats jobs =
+  apply_jobs jobs;
+  let results = Predictability.Experiments.run_all ~jobs () in
+  let table =
+    Prelude.Table.make
+      ~header:[ "experiment"; "wall s"; "Q*I cells"; "kernel evals"; "checks" ]
+  in
+  let total_wall = ref 0. and total_cells = ref 0 and total_evals = ref 0 in
+  List.iter
+    (fun { Predictability.Experiments.outcome; timing } ->
+       total_wall := !total_wall +. timing.Predictability.Report.wall_s;
+       total_cells := !total_cells + timing.Predictability.Report.cells;
+       total_evals := !total_evals + timing.Predictability.Report.evals;
+       let checks = outcome.Predictability.Report.checks in
+       let passed =
+         List.length
+           (List.filter (fun c -> c.Predictability.Report.passed) checks)
+       in
+       Prelude.Table.add_row table
+         [ outcome.Predictability.Report.id;
+           Printf.sprintf "%.3f" timing.Predictability.Report.wall_s;
+           string_of_int timing.Predictability.Report.cells;
+           string_of_int timing.Predictability.Report.evals;
+           Printf.sprintf "%d/%d" passed (List.length checks) ])
+    results;
+  Prelude.Table.add_separator table;
+  Prelude.Table.add_row table
+    [ "total"; Printf.sprintf "%.3f" !total_wall; string_of_int !total_cells;
+      string_of_int !total_evals; "" ];
+  print_string (Prelude.Table.render table);
+  Printf.printf "jobs=%d (recommended on this machine: %d)\n" jobs
+    (Prelude.Parallel.recommended_jobs ());
+  let all_ok =
+    List.for_all
+      (fun r ->
+         Predictability.Report.all_passed r.Predictability.Experiments.outcome)
+      results
+  in
+  if not all_ok then exit 1
 
 let list_workloads () =
   List.iter
@@ -62,6 +118,23 @@ let survey () =
 
 open Cmdliner
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive job count" n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let jobs_arg =
+  Arg.(value
+       & opt positive_int (Prelude.Parallel.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel evaluation engine \
+                 (default: Domain.recommended_domain_count). Results are \
+                 bit-identical for any value.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List all experiments")
     Term.(const list_experiments $ const ())
@@ -72,11 +145,18 @@ let run_cmd =
          & info [] ~docv:"ID" ~doc:"Experiment id (see `predlab list`)")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its report")
-    Term.(const run_one $ id)
+    Term.(const run_one $ jobs_arg $ id)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ const ())
+    Term.(const run_all $ jobs_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run every experiment and print a per-experiment cost summary \
+             (wall-clock, Q*I matrix cells, kernel evaluations)")
+    Term.(const stats $ jobs_arg)
 
 let survey_cmd =
   Cmd.v (Cmd.info "survey" ~doc:"Print the paper's Tables 1 and 2 as template instances")
@@ -100,6 +180,7 @@ let main =
        ~doc:"Predictability laboratory: reproduction of Grund, Reineke & \
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
-    [ list_cmd; run_cmd; all_cmd; survey_cmd; workloads_cmd; program_cmd ]
+    [ list_cmd; run_cmd; all_cmd; stats_cmd; survey_cmd; workloads_cmd;
+      program_cmd ]
 
 let () = exit (Cmd.eval main)

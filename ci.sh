@@ -1,0 +1,9 @@
+#!/bin/sh
+# Minimal CI: build, full test suite (unit + qcheck + integration, including
+# the slow exhaustive experiments), and a smoke run of the CLI with the
+# parallel engine enabled.
+set -eux
+
+dune build
+dune runtest
+dune exec bin/predlab.exe -- run EQ4 --jobs 2

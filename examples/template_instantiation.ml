@@ -44,7 +44,7 @@ let () =
   in
   let matrix =
     Predictability.Quantify.evaluate ~states ~inputs:w.Isa.Workload.inputs
-      ~time:(misses_plus_one program)
+      ~time:(misses_plus_one program) ()
   in
   let pr = Predictability.Quantify.pr matrix in
   let sipr = Predictability.Quantify.sipr matrix in

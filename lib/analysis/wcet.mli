@@ -54,5 +54,13 @@ val bound :
   config -> bound_kind -> shapes:(string * Isa.Ast.shape) list ->
   entry:string -> result
 
+val bracket :
+  ?jobs:int -> upper:config -> lower:config ->
+  shapes:(string * Isa.Ast.shape) list -> entry:string -> unit ->
+  result * result
+(** [(upper_result, lower_result)]: the UB and LB walks evaluated
+    concurrently on the {!Prelude.Parallel} pool (they are independent).
+    Identical to two sequential {!bound} calls for any job count. *)
+
 val classified_fraction : result -> float
 (** Fraction of fetch observations classified AH or AM. *)

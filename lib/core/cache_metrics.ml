@@ -25,27 +25,32 @@ let olds_all_evicted state ways =
   let olds = List.init ways (fun i -> -(i + 1)) in
   not (List.exists (Cache.Policy.resident state) olds)
 
-let search ~check ~ways ~max_probes kind =
+let search ?jobs ~check ~ways ~max_probes kind =
   let rec try_probes j =
     if j > max_probes then Beyond max_probes
     else begin
       let probes = List.init j (fun i -> i + 1) in
       let states = initial_states kind ~ways ~probes in
-      let finals = List.map (fun s -> final_state s probes) states in
+      (* Each initial state is pushed through the probe sequence
+         independently: fan the exploration out across the domain pool. *)
+      let finals =
+        Prelude.Parallel.map ?jobs (fun s -> final_state s probes) states
+      in
+      Prelude.Instrument.add_evals (List.length states);
       if check finals then Exact j else try_probes (j + 1)
     end
   in
   try_probes 1
 
-let evict kind ~ways ~max_probes =
+let evict ?jobs kind ~ways ~max_probes =
   let check finals = List.for_all (fun s -> olds_all_evicted s ways) finals in
-  search ~check ~ways ~max_probes kind
+  search ?jobs ~check ~ways ~max_probes kind
 
-let fill kind ~ways ~max_probes =
+let fill ?jobs kind ~ways ~max_probes =
   let check = function
     | [] -> true
     | first :: rest ->
       olds_all_evicted first ways
       && List.for_all (fun s -> Cache.Policy.equal s first) rest
   in
-  search ~check ~ways ~max_probes kind
+  search ?jobs ~check ~ways ~max_probes kind

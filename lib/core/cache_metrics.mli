@@ -25,7 +25,12 @@ type estimate =
 
 val estimate_to_string : estimate -> string
 
-val evict : Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
-(** @raise Invalid_argument on geometries the policy cannot represent. *)
+val evict :
+  ?jobs:int -> Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
+(** The state-space exploration runs on [jobs] worker domains (default
+    {!Prelude.Parallel.default_jobs}); results are identical for any job
+    count.
+    @raise Invalid_argument on geometries the policy cannot represent. *)
 
-val fill : Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
+val fill :
+  ?jobs:int -> Cache.Policy.kind -> ways:int -> max_probes:int -> estimate

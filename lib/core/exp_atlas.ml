@@ -31,16 +31,14 @@ let measure (name, make) =
   (* Cap the input count so the atlas stays quick for the big input sets. *)
   let inputs = Prelude.Listx.take 40 w.Isa.Workload.inputs in
   let matrix =
-    Quantify.evaluate ~states ~inputs ~time:(Harness.inorder_time program)
+    Quantify.evaluate ~states ~inputs ~time:(Harness.inorder_time program) ()
   in
-  let ub =
-    (Analysis.Wcet.bound (analysis_config true) Analysis.Wcet.Upper ~shapes
-       ~entry:"main").Analysis.Wcet.bound
+  let ub_result, lb_result =
+    Analysis.Wcet.bracket ~upper:(analysis_config true)
+      ~lower:(analysis_config false) ~shapes ~entry:"main" ()
   in
-  let lb =
-    (Analysis.Wcet.bound (analysis_config false) Analysis.Wcet.Lower ~shapes
-       ~entry:"main").Analysis.Wcet.bound
-  in
+  let ub = ub_result.Analysis.Wcet.bound
+  and lb = lb_result.Analysis.Wcet.bound in
   { name;
     pr = Quantify.pr matrix;
     sipr = Quantify.sipr matrix;
@@ -50,7 +48,9 @@ let measure (name, make) =
         ub } }
 
 let run () =
-  let rows = List.map measure Isa.Workload.registry in
+  (* One row per workload, each an independent Q*I sweep plus two bound
+     walks: the natural unit of parallelism for this experiment. *)
+  let rows = Prelude.Parallel.map measure Isa.Workload.registry in
   let sorted =
     List.sort (fun a b -> Prelude.Ratio.compare b.pr a.pr) rows
   in

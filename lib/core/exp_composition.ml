@@ -90,7 +90,7 @@ let direct_pr machine =
       (List.map2 (fun (program, _) input -> (program, input)) part_programs inputs)
       state
   in
-  let matrix = Quantify.evaluate ~states ~inputs:triples ~time in
+  let matrix = Quantify.evaluate ~states ~inputs:triples ~time () in
   Quantify.pr matrix
 
 let run () =

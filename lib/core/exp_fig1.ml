@@ -9,7 +9,7 @@ let run () =
   let states = Harness.inorder_states program w in
   let matrix =
     Quantify.evaluate ~states ~inputs:w.Isa.Workload.inputs
-      ~time:(Harness.inorder_time program)
+      ~time:(Harness.inorder_time program) ()
   in
   let bcet = Quantify.bcet matrix and wcet = Quantify.wcet matrix in
   let analysis_config kind =
@@ -21,8 +21,12 @@ let run () =
       unroll = kind = Analysis.Wcet.Upper;
       budget = None }
   in
-  let ub = (Analysis.Wcet.bound (analysis_config Analysis.Wcet.Upper) Analysis.Wcet.Upper ~shapes ~entry:"main").Analysis.Wcet.bound in
-  let lb = (Analysis.Wcet.bound (analysis_config Analysis.Wcet.Lower) Analysis.Wcet.Lower ~shapes ~entry:"main").Analysis.Wcet.bound in
+  let ub_result, lb_result =
+    Analysis.Wcet.bracket ~upper:(analysis_config Analysis.Wcet.Upper)
+      ~lower:(analysis_config Analysis.Wcet.Lower) ~shapes ~entry:"main" ()
+  in
+  let ub = ub_result.Analysis.Wcet.bound
+  and lb = lb_result.Analysis.Wcet.bound in
   let summary = { Measures.lb; bcet; wcet; ub } in
   let histogram = Prelude.Histogram.of_samples ~bins:12 (Quantify.times matrix) in
   let pr, sipr, iipr =

@@ -21,7 +21,7 @@ let run () =
   in
   let matrix_a =
     Quantify.evaluate ~states:recommended_states ~inputs:w.Isa.Workload.inputs
-      ~time:(Harness.inorder_time program)
+      ~time:(Harness.inorder_time program) ()
   in
   (* Machine B: greedy dual-unit OoO with FIFO caches. *)
   let fifo_config =
@@ -65,7 +65,7 @@ let run () =
     Quantify.evaluate ~states:conventional_states ~inputs:w.Isa.Workload.inputs
       ~time:(fun q input ->
           let config = Pipeline.Ooo.trace_config ~mem:q.mem () in
-          Pipeline.Ooo.time config ~init:q.units program input)
+          Pipeline.Ooo.time config ~init:q.units program input) ()
   in
   let table =
     Prelude.Table.make ~header:[ "architecture"; "SIPr"; "Pr"; "BCET"; "WCET" ]

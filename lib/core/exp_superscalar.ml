@@ -53,7 +53,7 @@ let run () =
     in
     let matrix =
       Quantify.evaluate ~states:initial_occupancies ~inputs:w.Isa.Workload.inputs
-        ~time
+        ~time ()
     in
     (matrix, Pipeline.Superscalar.distinct_entry_signatures !results)
   in

@@ -15,7 +15,7 @@ let run () =
   let program, _ = Isa.Workload.program w in
   let evaluate config =
     Quantify.evaluate ~states:initial_units ~inputs:w.Isa.Workload.inputs
-      ~time:(fun init input -> Pipeline.Ooo.time config ~init program input)
+      ~time:(fun init input -> Pipeline.Ooo.time config ~init program input) ()
   in
   let plain = evaluate (Pipeline.Ooo.trace_config ()) in
   let vtraces =

@@ -30,10 +30,38 @@ let all =
 
 let ids () = List.map (fun (id, _, _) -> id) all
 
-let run id =
-  let _, _, runner =
-    List.find (fun (candidate, _, _) -> candidate = id) all
-  in
-  runner ()
+type result = {
+  outcome : Report.outcome;
+  timing : Report.timing;
+}
 
-let run_all () = List.map (fun (_, _, runner) -> runner ()) all
+let unknown_id_message id =
+  Printf.sprintf "unknown experiment %S; valid ids: %s" id
+    (String.concat ", " (ids ()))
+
+let lookup id =
+  match List.find_opt (fun (candidate, _, _) -> candidate = id) all with
+  | Some entry -> Ok entry
+  | None -> Error (unknown_id_message id)
+
+let run id =
+  match lookup id with
+  | Ok (_, _, runner) -> runner ()
+  | Error message -> invalid_arg ("Experiments.run: " ^ message)
+
+let timed_runner runner =
+  let outcome, timing = Harness.timed runner in
+  { outcome; timing }
+
+let run_timed id =
+  match lookup id with
+  | Ok (_, _, runner) -> timed_runner runner
+  | Error message -> invalid_arg ("Experiments.run_timed: " ^ message)
+
+(* Experiments are independent (no toplevel mutable state anywhere in lib/);
+   fan them out across the domain pool. Parallel.map keeps registry order,
+   and Harness.timed uses domain-local counters, so both the outcomes and
+   the per-experiment instrumentation are identical for any job count
+   (modulo wall-clock). *)
+let run_all ?jobs () =
+  Prelude.Parallel.map ?jobs (fun (_, _, runner) -> timed_runner runner) all

@@ -6,7 +6,26 @@ val all : (string * string * (unit -> Report.outcome)) list
 
 val ids : unit -> string list
 
-val run : string -> Report.outcome
-(** @raise Not_found for an unknown id. *)
+type result = {
+  outcome : Report.outcome;
+  timing : Report.timing;  (** wall clock + work counters for this run *)
+}
 
-val run_all : unit -> Report.outcome list
+val lookup :
+  string -> (string * string * (unit -> Report.outcome), string) Stdlib.result
+(** [Ok (id, title, runner)] for a registered id, [Error message] naming
+    the unknown id and listing the valid ones (the exact message the CLI
+    prints). *)
+
+val run : string -> Report.outcome
+(** @raise Invalid_argument for an unknown id, naming it and the valid
+    ids. *)
+
+val run_timed : string -> result
+(** Like {!run}, with wall-clock and work-counter instrumentation.
+    @raise Invalid_argument for an unknown id. *)
+
+val run_all : ?jobs:int -> unit -> result list
+(** Run every experiment, fanned out over [jobs] worker domains (default
+    {!Prelude.Parallel.default_jobs}); results are in registry order and
+    outcomes are bit-identical for any job count. *)

@@ -19,7 +19,7 @@ let profile ~states ~inputs ~time ~cuts =
       Quantify.evaluate
         ~states:(Prelude.Listx.take state_count states)
         ~inputs:(Prelude.Listx.take input_count inputs)
-        ~time
+        ~time ()
     in
     { label; state_count; input_count;
       pr = Quantify.pr matrix;

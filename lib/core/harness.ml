@@ -51,3 +51,13 @@ let outcomes program inputs = List.map (Isa.Exec.run program) inputs
 
 let ratio_string r =
   Printf.sprintf "%s (%.3f)" (Prelude.Ratio.to_string r) (Prelude.Ratio.to_float r)
+
+let timed f =
+  Prelude.Instrument.reset ();
+  let started = Prelude.Instrument.now () in
+  let v = f () in
+  let wall_s = Prelude.Instrument.now () -. started in
+  let counts = Prelude.Instrument.snapshot () in
+  (v,
+   { Report.wall_s; cells = counts.Prelude.Instrument.cells;
+     evals = counts.Prelude.Instrument.evals })

@@ -36,3 +36,9 @@ val outcomes : Isa.Program.t -> Isa.Exec.input list -> Isa.Exec.outcome list
 
 val ratio_string : Prelude.Ratio.t -> string
 (** e.g. "3/4 (0.750)". *)
+
+val timed : (unit -> 'a) -> 'a * Report.timing
+(** Run a thunk with instrumentation: wall-clock time plus the calling
+    domain's {!Prelude.Instrument} counters (reset before, snapshot after).
+    Parallel kernels credit their sweeps to the calling domain, so this
+    attributes correctly even when [f] fans out internally. *)

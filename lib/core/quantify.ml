@@ -1,6 +1,6 @@
 type matrix = int array array  (* indexed [state][input] *)
 
-let evaluate ~states ~inputs ~time =
+let evaluate ?jobs ~states ~inputs ~time () =
   if states = [] then invalid_arg "Quantify.evaluate: empty state set";
   if inputs = [] then invalid_arg "Quantify.evaluate: empty input set";
   let inputs = Array.of_list inputs in
@@ -13,7 +13,14 @@ let evaluate ~states ~inputs ~time =
          t)
       inputs
   in
-  Array.of_list (List.map row states)
+  (* Rows of the T_p(q, i) matrix are independent: evaluate them across the
+     domain pool. Ordering (and thus every min/max below) is deterministic
+     for any job count. *)
+  let m = Prelude.Parallel.map_array ?jobs row (Array.of_list states) in
+  let cells = Array.length m * Array.length inputs in
+  Prelude.Instrument.add_cells cells;
+  Prelude.Instrument.add_evals cells;
+  m
 
 let fold_matrix f init m =
   Array.fold_left (fun acc row -> Array.fold_left f acc row) init m
@@ -48,6 +55,9 @@ let wcet = max_all
 let times m =
   List.concat_map Array.to_list (Array.to_list m)
 
-let predictability ~states ~inputs ~time =
-  let m = evaluate ~states ~inputs ~time in
+let size m =
+  (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let predictability ?jobs ~states ~inputs ~time () =
+  let m = evaluate ?jobs ~states ~inputs ~time () in
   (pr m, sipr m, iipr m)

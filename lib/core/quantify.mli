@@ -17,8 +17,14 @@
 type matrix
 (** Evaluated timing matrix over [Q * I] (each [T(q, i)] computed once). *)
 
-val evaluate : states:'q list -> inputs:'i list -> time:('q -> 'i -> int) -> matrix
-(** @raise Invalid_argument on empty [states]/[inputs] or a non-positive
+val evaluate :
+  ?jobs:int -> states:'q list -> inputs:'i list ->
+  time:('q -> 'i -> int) -> unit -> matrix
+(** Rows (one per state) are evaluated in parallel on [jobs] worker domains
+    (default {!Prelude.Parallel.default_jobs}); the resulting matrix — and
+    every quantity derived from it — is bit-identical for any job count.
+    Credits the [Q * I] sweep to {!Prelude.Instrument}.
+    @raise Invalid_argument on empty [states]/[inputs] or a non-positive
     execution time. *)
 
 val pr : matrix -> Prelude.Ratio.t
@@ -37,7 +43,11 @@ val wcet : matrix -> int
 val times : matrix -> int list
 (** All observed execution times (row-major), e.g. for histograms. *)
 
+val size : matrix -> int * int
+(** [(states, inputs)] dimensions. *)
+
 val predictability :
-  states:'q list -> inputs:'i list -> time:('q -> 'i -> int) ->
+  ?jobs:int -> states:'q list -> inputs:'i list ->
+  time:('q -> 'i -> int) -> unit ->
   Prelude.Ratio.t * Prelude.Ratio.t * Prelude.Ratio.t
 (** [(pr, sipr, iipr)] in one evaluation. *)

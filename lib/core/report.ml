@@ -10,9 +10,19 @@ type outcome = {
   checks : check list;
 }
 
+type timing = {
+  wall_s : float;
+  cells : int;
+  evals : int;
+}
+
 let check label passed = { label; passed }
 
 let all_passed outcome = List.for_all (fun c -> c.passed) outcome.checks
+
+let timing_string t =
+  Printf.sprintf "wall %.3fs  Q*I cells %d  kernel evals %d"
+    t.wall_s t.cells t.evals
 
 let render outcome =
   let buf = Buffer.create 512 in

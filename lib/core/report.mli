@@ -14,6 +14,17 @@ type outcome = {
   checks : check list;
 }
 
+type timing = {
+  wall_s : float;  (** wall-clock seconds for the experiment run *)
+  cells : int;     (** [Q * I] matrix cells materialised *)
+  evals : int;     (** kernel evaluations: [T_p(q,i)] calls, states explored *)
+}
+(** Per-experiment instrumentation, recorded by {!Experiments.run_all} /
+    {!Experiments.run_timed} around each runner. *)
+
 val check : string -> bool -> check
 val all_passed : outcome -> bool
 val render : outcome -> string
+
+val timing_string : timing -> string
+(** e.g. ["wall 0.123s  Q*I cells 540  kernel evals 540"]. *)

@@ -1,0 +1,22 @@
+type counts = {
+  evals : int;
+  cells : int;
+}
+
+let zero = { evals = 0; cells = 0 }
+
+let key = Domain.DLS.new_key (fun () -> ref zero)
+
+let reset () = Domain.DLS.get key := zero
+
+let snapshot () = !(Domain.DLS.get key)
+
+let add_evals n =
+  let r = Domain.DLS.get key in
+  r := { !r with evals = !r.evals + n }
+
+let add_cells n =
+  let r = Domain.DLS.get key in
+  r := { !r with cells = !r.cells + n }
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,29 @@
+(** Lightweight per-domain counters for experiment instrumentation.
+
+    The hot kernels ({!Quantify.evaluate}-style [Q * I] sweeps and
+    replacement-policy state explorations) report how much work they did by
+    bumping these counters; the experiment harness snapshots them around
+    each run to attribute cost per experiment.
+
+    Counters live in domain-local storage: an experiment running on one
+    worker domain never sees the counts of an experiment running
+    concurrently on another. Parallel kernels are expected to credit their
+    whole sweep to the {e calling} domain once the sweep completes (they
+    know its size), so nested data-parallelism attributes correctly. *)
+
+type counts = {
+  evals : int;  (** kernel evaluations: [T_p(q,i)] calls, states explored *)
+  cells : int;  (** [Q * I] matrix cells materialised *)
+}
+
+val reset : unit -> unit
+(** Zero the calling domain's counters. *)
+
+val snapshot : unit -> counts
+(** The calling domain's counters since the last {!reset}. *)
+
+val add_evals : int -> unit
+val add_cells : int -> unit
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)

@@ -1,0 +1,156 @@
+(* A fixed-size pool of worker domains fed from a mutex/condition-protected
+   task queue. Pools are created per top-level call and joined before it
+   returns: predictability experiments are batch jobs, so keeping idle
+   domains alive between calls would only complicate process exit. *)
+
+let process_default = Atomic.make 0 (* 0 = fall back to the runtime's advice *)
+
+let recommended_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_default_jobs: jobs must be >= 1";
+  Atomic.set process_default n
+
+let default_jobs () =
+  match Atomic.get process_default with
+  | 0 -> recommended_jobs ()
+  | n -> n
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some n when n < 1 -> invalid_arg "Parallel: jobs must be >= 1"
+  | Some n -> n
+
+module Pool = struct
+  type t = {
+    mu : Mutex.t;
+    work_ready : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable domains : unit Domain.t list;
+    (* Instrument counts accumulated by worker domains, flushed back to the
+       submitting domain on [drain] so per-experiment attribution survives
+       nested parallelism. *)
+    worker_evals : int Atomic.t;
+    worker_cells : int Atomic.t;
+  }
+
+  let rec work_loop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work_ready t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu (* closed and drained *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mu;
+      task ();
+      work_loop t
+    end
+
+  let worker t =
+    work_loop t;
+    (* Worker domains start with zero counters, so the final snapshot is
+       exactly the work this pool's tasks did on this domain. *)
+    let counts = Instrument.snapshot () in
+    ignore (Atomic.fetch_and_add t.worker_evals counts.Instrument.evals);
+    ignore (Atomic.fetch_and_add t.worker_cells counts.Instrument.cells)
+
+  let create size =
+    let t =
+      { mu = Mutex.create (); work_ready = Condition.create ();
+        queue = Queue.create (); closed = false; domains = [];
+        worker_evals = Atomic.make 0; worker_cells = Atomic.make 0 }
+    in
+    t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let submit t task =
+    Mutex.lock t.mu;
+    Queue.push task t.queue;
+    Condition.signal t.work_ready;
+    Mutex.unlock t.mu
+
+  (* Close the queue, wait for every submitted task to finish, and credit
+     the workers' instrument counts to the calling domain. *)
+  let drain t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    Instrument.add_evals (Atomic.get t.worker_evals);
+    Instrument.add_cells (Atomic.get t.worker_cells)
+end
+
+(* Tasks must never raise (a raising task would kill its worker domain and
+   strand the queue), so failures are parked here and re-raised with their
+   original backtrace once the pool has drained. *)
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+(* Execute [body i] for all [0 <= i < count]. Indices are grouped into
+   contiguous slices (a few per worker, so cheap bodies don't pay a mutex
+   round-trip per element while load imbalance still smooths out), and each
+   slice becomes one pool task. *)
+let run_tasks ~jobs ~count body =
+  if count > 0 then begin
+    if jobs <= 1 || count = 1 then
+      for i = 0 to count - 1 do body i done
+    else begin
+      let slices = Stdlib.min count (jobs * 8) in
+      let slice_len = (count + slices - 1) / slices in
+      let pool = Pool.create (Stdlib.min jobs slices) in
+      let first_failure = Atomic.make None in
+      for s = 0 to slices - 1 do
+        let lo = s * slice_len in
+        let hi = Stdlib.min count (lo + slice_len) - 1 in
+        if lo <= hi then
+          Pool.submit pool (fun () ->
+              try
+                for i = lo to hi do
+                  if Atomic.get first_failure = None then body i
+                done
+              with exn ->
+                let backtrace = Printexc.get_raw_backtrace () in
+                ignore
+                  (Atomic.compare_and_set first_failure None
+                     (Some { exn; backtrace })))
+      done;
+      Pool.drain pool;
+      match Atomic.get first_failure with
+      | Some { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+      | None -> ()
+    end
+  end
+
+let map_array ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_tasks ~jobs ~count:n (fun i -> results.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let fold ?jobs ?(chunk = 16) ~map:fm ~combine ~init items =
+  let chunk = Stdlib.max 1 chunk in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let chunks = (n + chunk - 1) / chunk in
+    let partial c =
+      let lo = c * chunk in
+      let hi = Stdlib.min n (lo + chunk) - 1 in
+      let acc = ref (fm arr.(lo)) in
+      for i = lo + 1 to hi do
+        acc := combine !acc (fm arr.(i))
+      done;
+      !acc
+    in
+    let partials = map_array ?jobs partial (Array.init chunks Fun.id) in
+    Array.fold_left combine init partials
+  end

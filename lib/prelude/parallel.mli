@@ -1,0 +1,51 @@
+(** A small fixed-size domain pool for data-parallel evaluation.
+
+    Every headline quantity of the paper (Pr/SIPr/IIPr, exhaustive
+    BCET/WCET, the evict/fill metrics) is a min/max over an exhaustive
+    [Q * I] or state-space enumeration whose elements are independent, so
+    they parallelise trivially across OCaml 5 domains. This module provides
+    the one primitive those hot paths share: evaluate a pure function over
+    a sequence on a fixed number of worker domains, with results delivered
+    in input order regardless of scheduling.
+
+    Guarantees:
+    - {b deterministic ordering}: [map ~jobs f xs] returns exactly
+      [List.map f xs] for any [jobs] — results are written by input index,
+      never by completion order;
+    - {b exception transparency}: if some [f x] raises, the first recorded
+      exception (with its backtrace) is re-raised in the calling domain
+      after all workers have stopped;
+    - {b bounded width}: at most [jobs] domains run tasks at any time
+      (including the calling domain's contribution via [Domain.join]).
+
+    The pool is built only on [Domain], [Mutex] and [Condition] from the
+    standard library — no external dependencies. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val set_default_jobs : int -> unit
+(** Set the process-wide default used when [?jobs] is omitted (the
+    [--jobs] flag of [predlab] lands here).
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val default_jobs : unit -> int
+(** The current default: the last [set_default_jobs] value, or
+    [recommended_jobs ()] if never set. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs = List.map f xs], computed on [min jobs (length xs)]
+    worker domains. [jobs = 1] runs sequentially in the calling domain. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}; result index [i] holds [f xs.(i)]. *)
+
+val fold :
+  ?jobs:int -> ?chunk:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) ->
+  init:'b -> 'a list -> 'b
+(** Chunked parallel map-reduce: equivalent to
+    [List.fold_left (fun acc x -> combine acc (map x)) init xs] whenever
+    [combine] is associative and [init] is a left identity for the result.
+    Items are split into chunks of [chunk] (default 16) consecutive
+    elements; chunks are mapped in parallel and partial results are
+    combined strictly in input order, so the result is deterministic. *)

@@ -1,12 +1,34 @@
 type t = { n : int; d : int }
 
+exception Overflow
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Native-int arithmetic that refuses to wrap: composition over long kernels
+   multiplies large cycle counts by large denominators, and a silently
+   wrapped rational is worse than no answer. *)
+
+let checked_add a b =
+  let r = a + b in
+  if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) then
+    raise Overflow
+  else r
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else if (a = -1 && b = min_int) || (b = -1 && a = min_int) then raise Overflow
+  else begin
+    let r = a * b in
+    if r / b <> a then raise Overflow else r
+  end
+
+let checked_neg a = if a = min_int then raise Overflow else -a
 
 let make num den =
   if den = 0 then raise Division_by_zero
   else begin
     let sign = if den < 0 then -1 else 1 in
-    let num = sign * num and den = sign * den in
+    let num = checked_mul sign num and den = checked_mul sign den in
     let g = gcd (abs num) den in
     if g = 0 then { n = 0; d = 1 } else { n = num / g; d = den / g }
   end
@@ -16,13 +38,57 @@ let zero = of_int 0
 let one = of_int 1
 let num t = t.n
 let den t = t.d
-let add a b = make ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
-let sub a b = make ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
-let mul a b = make (a.n * b.n) (a.d * b.d)
-let div a b = if b.n = 0 then raise Division_by_zero else make (a.n * b.d) (a.d * b.n)
-let neg a = { a with n = -a.n }
-let inv a = if a.n = 0 then raise Division_by_zero else make a.d a.n
-let compare a b = Stdlib.compare (a.n * b.d) (b.n * a.d)
+
+(* a/b + c/d with g = gcd(b, d): reduce to the least common denominator
+   before multiplying, so intermediates only overflow when the final lowest-
+   terms result itself is unrepresentable (in which case: Overflow). *)
+let add a b =
+  let g = gcd a.d b.d in
+  let bd_red = b.d / g and ad_red = a.d / g in
+  let n = checked_add (checked_mul a.n bd_red) (checked_mul b.n ad_red) in
+  make n (checked_mul a.d bd_red)
+
+let neg a = { a with n = checked_neg a.n }
+let sub a b = add a (neg b)
+
+(* Cross-reduce (gcd of each numerator with the opposite denominator) before
+   multiplying, for the same reason as [add]. *)
+let mul a b =
+  let g1 = gcd (abs a.n) b.d and g2 = gcd (abs b.n) a.d in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make (checked_mul (a.n / g1) (b.n / g2))
+    (checked_mul (a.d / g2) (b.d / g1))
+
+let inv a =
+  if a.n = 0 then raise Division_by_zero
+  else if a.n < 0 then { n = checked_neg a.d; d = checked_neg a.n }
+  else { n = a.d; d = a.n }
+
+let div a b = if b.n = 0 then raise Division_by_zero else mul a (inv b)
+
+(* Overflow-free comparison by continued-fraction descent: compare integer
+   parts, then recurse on the flipped fractional remainders. Denominators
+   are positive by construction, so termination mirrors Euclid's gcd. *)
+let rec compare_pos an ad bn bd =
+  let qa = an / ad and ra = an mod ad in
+  let qb = bn / bd and rb = bn mod bd in
+  if qa <> qb then Stdlib.compare qa qb
+  else if ra = 0 && rb = 0 then 0
+  else if ra = 0 then -1
+  else if rb = 0 then 1
+  else compare_pos bd rb ad ra
+
+let compare a b =
+  match a.n >= 0, b.n >= 0 with
+  | true, false -> 1
+  | false, true -> -1
+  | true, true ->
+    if a.n = 0 && b.n = 0 then 0
+    else if a.n = 0 then -1
+    else if b.n = 0 then 1
+    else compare_pos a.n a.d b.n b.d
+  | false, false -> compare_pos (-b.n) b.d (-a.n) a.d
+
 let equal a b = compare a b = 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

@@ -3,9 +3,21 @@
     Cycle counts and their quotients in predictability computations are small,
     so native [int] numerators/denominators (with systematic normalisation)
     suffice; this avoids a dependency on an arbitrary-precision library. All
-    values are kept in lowest terms with a positive denominator. *)
+    values are kept in lowest terms with a positive denominator.
+
+    Large operands (long-kernel cycle counts times large denominators, as
+    produced by {!Composition} interval products) are handled by reducing
+    with gcds {e before} multiplying; when even the lowest-terms result
+    cannot be represented in 63-bit ints, operations raise {!Overflow}
+    rather than silently wrapping. [compare] is exact for all
+    representable values (continued-fraction descent, no cross
+    multiplication). *)
 
 type t
+
+exception Overflow
+(** Raised when a result's lowest-terms numerator or denominator exceeds
+    the native integer range. *)
 
 val make : int -> int -> t
 (** [make num den] is the rational [num/den] in lowest terms.

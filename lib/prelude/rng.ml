@@ -26,8 +26,18 @@ let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
   | items -> List.nth items (int t (List.length items))
 
+(* Fisher-Yates. The previous sort-by-random-key scheme was biased: keys
+   drawn from a finite range collide, and [List.sort] is stable, so tied
+   elements kept their input order more often than a uniform shuffle
+   allows. *)
 let shuffle t items =
-  let tagged = List.map (fun x -> (int t 1073741823, x)) items in
-  List.map snd (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) tagged)
+  let arr = Array.of_list items in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
 
 let split t = { state = next t }

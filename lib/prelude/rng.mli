@@ -19,5 +19,7 @@ val pick : t -> 'a list -> 'a
 (** Uniform draw from a non-empty list. @raise Invalid_argument on []. *)
 
 val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation (array-based Fisher-Yates). *)
+
 val split : t -> t
 (** An independent generator derived from [t]'s stream. *)

@@ -16,8 +16,13 @@ let summarize samples =
     let total = List.fold_left ( +. ) 0. sorted in
     let mean = total /. float_of_int count in
     let sq_dev x = (x -. mean) *. (x -. mean) in
-    let var = List.fold_left (fun acc x -> acc +. sq_dev x) 0. sorted in
-    let stddev = sqrt (var /. float_of_int count) in
+    let sq_sum = List.fold_left (fun acc x -> acc +. sq_dev x) 0. sorted in
+    (* Sample (Bessel-corrected) standard deviation: the samples are
+       observations of a wider behaviour space, not the whole population.
+       A single observation carries no spread information: stddev = 0. *)
+    let stddev =
+      if count < 2 then 0. else sqrt (sq_sum /. float_of_int (count - 1))
+    in
     let median =
       let arr = Array.of_list sorted in
       let n = Array.length arr in

@@ -10,7 +10,11 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** @raise Invalid_argument on the empty list. *)
+(** [stddev] is the {e sample} (Bessel-corrected, [n - 1] denominator)
+    standard deviation: callers treat observed execution times as a sample
+    of a wider behaviour space, not as the full population. For a single
+    sample it is 0.
+    @raise Invalid_argument on the empty list. *)
 
 val summarize_ints : int list -> summary
 

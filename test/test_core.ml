@@ -8,7 +8,7 @@ let ratio = Alcotest.testable Prelude.Ratio.pp Prelude.Ratio.equal
 (* --- Quantify ------------------------------------------------------------ *)
 
 let matrix_of_fun states inputs f =
-  Predictability.Quantify.evaluate ~states ~inputs ~time:f
+  Predictability.Quantify.evaluate ~states ~inputs ~time:f ()
 
 let test_pr_constant_system () =
   let m = matrix_of_fun [ 0; 1 ] [ 0; 1; 2 ] (fun _ _ -> 42) in

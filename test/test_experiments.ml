@@ -27,13 +27,43 @@ let test_registry_unique_ids () =
     (List.length ids)
     (List.length (Prelude.Listx.uniq Stdlib.compare ids))
 
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Regression for the bare [Not_found] that used to escape from [run]: the
+   error is now typed and self-describing (offending id + valid ids). *)
 let test_run_unknown_id () =
-  Alcotest.check_raises "unknown id" Not_found (fun () ->
-      ignore (Predictability.Experiments.run "NOPE"))
+  match Predictability.Experiments.run "NOPE" with
+  | _ -> Alcotest.fail "run accepted an unknown id"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the offending id" true
+        (string_contains msg "\"NOPE\"");
+      Alcotest.(check bool) "message lists valid ids" true
+        (string_contains msg "EQ4")
+
+let test_lookup () =
+  (match Predictability.Experiments.lookup "EQ4" with
+   | Ok (id, _, _) -> Alcotest.(check string) "found id" "EQ4" id
+   | Error msg -> Alcotest.fail msg);
+  match Predictability.Experiments.lookup "NOPE" with
+  | Ok _ -> Alcotest.fail "lookup accepted an unknown id"
+  | Error msg ->
+      (* This message is what `predlab run NOPE` prints before exiting 2. *)
+      Alcotest.(check bool) "error names the offending id" true
+        (string_contains msg "\"NOPE\"");
+      Alcotest.(check bool) "error lists valid ids" true
+        (string_contains msg "FIG1")
 
 let () =
   Alcotest.run "experiments"
     [ ("registry",
        [ Alcotest.test_case "unique ids" `Quick test_registry_unique_ids;
-         Alcotest.test_case "unknown id" `Quick test_run_unknown_id ]);
+         Alcotest.test_case "unknown id" `Quick test_run_unknown_id;
+         Alcotest.test_case "lookup" `Quick test_lookup ]);
       ("reproduction", List.map experiment_case Predictability.Experiments.all) ]

@@ -89,6 +89,49 @@ let prop_ratio_normalised =
        && gcd (abs (Prelude.Ratio.num r)) (Prelude.Ratio.den r) <= 1
           || Prelude.Ratio.num r = 0)
 
+(* Regression tests for silent int overflow in ratio arithmetic: operands
+   whose naive cross-multiplication wraps around max_int. Pre-fix these
+   either produced garbage (wrapped) values or flipped signs; post-fix the
+   gcd reduction keeps the exact result representable, and genuinely
+   unrepresentable results raise [Overflow]. *)
+
+let test_ratio_overflow_reduced () =
+  let open Prelude.Ratio in
+  let big = 1 lsl 35 in
+  (* Naive denominator big * big = 2^70 wraps; gcd reduction avoids it. *)
+  check_ratio "1/2^35 + 1/2^35 = 1/2^34"
+    (make 1 (1 lsl 34)) (add (make 1 big) (make 1 big));
+  check_ratio "3/2^35 - 1/2^35 = 1/2^34"
+    (make 1 (1 lsl 34)) (sub (make 3 big) (make 1 big));
+  (* Naive product denominator 2^35 * 2^30 = 2^65 wraps; cross-gcd saves it. *)
+  check_ratio "(1/2^35) * (2^35/2^30) = 1/2^30"
+    (make 1 (1 lsl 30)) (mul (make 1 big) (make big (1 lsl 30)))
+
+let test_ratio_overflow_raises () =
+  let pow32 = 1 lsl 32 and pow32m1 = (1 lsl 32) - 1 in
+  let open Prelude.Ratio in
+  (* Coprime denominators ~2^32: the reduced common denominator is 2^64-2^32,
+     past max_int, so the sum is not representable. *)
+  Alcotest.check_raises "add with unrepresentable denominator" Overflow
+    (fun () -> ignore (add (make 1 pow32) (make 1 pow32m1)));
+  Alcotest.check_raises "sub with unrepresentable denominator" Overflow
+    (fun () -> ignore (sub (make 1 pow32m1) (make 1 pow32)));
+  Alcotest.check_raises "mul with unrepresentable numerator" Overflow
+    (fun () -> ignore (mul (of_int (1 lsl 40)) (of_int (1 lsl 40))))
+
+let test_ratio_compare_exact_near_max () =
+  let m1 = max_int - 1 and m2 = max_int - 2 in
+  let open Prelude.Ratio in
+  (* (max_int-1)/max_int > (max_int-2)/(max_int-1), but the cross products
+     overflow: pre-fix compare answered from wrapped values. *)
+  let a = make m1 max_int and b = make m2 m1 in
+  Alcotest.(check int) "compare near max_int is exact" 1 (compare a b);
+  Alcotest.(check int) "flipped" (-1) (compare b a);
+  Alcotest.(check int) "reflexive" 0 (compare a a);
+  Alcotest.(check bool) "negated ordering flips" true
+    (Prelude.Ratio.(neg a < neg b));
+  Alcotest.(check bool) "sign split" true (Prelude.Ratio.(neg a < b))
+
 (* --- Stats ------------------------------------------------------------ *)
 
 let test_stats_basic () =
@@ -98,7 +141,8 @@ let test_stats_basic () =
   Alcotest.(check (float 1e-9)) "max" 5.0 s.Prelude.Stats.max;
   Alcotest.(check (float 1e-9)) "mean" 3.0 s.Prelude.Stats.mean;
   Alcotest.(check (float 1e-9)) "median" 3.0 s.Prelude.Stats.median;
-  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) s.Prelude.Stats.stddev
+  (* Bessel-corrected sample stddev: sum of squared deviations 10 over n-1=4. *)
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Prelude.Stats.stddev
 
 let test_stats_even_median () =
   let s = Prelude.Stats.summarize_ints [ 4; 1; 3; 2 ] in
@@ -146,6 +190,37 @@ let test_rng_pick_shuffle () =
   let shuffled = Prelude.Rng.shuffle rng items in
   Alcotest.(check (list int)) "shuffle is a permutation"
     items (List.sort Stdlib.compare shuffled)
+
+(* Regression for the biased sort-by-random-key shuffle: with a stable sort
+   and a small key space, identical keys kept input order, so some
+   permutations were unreachable (or strongly under-represented). The
+   Fisher-Yates rewrite draws each arrangement with probability 1/n!. *)
+let prop_shuffle_uniform_over_permutations =
+  QCheck.Test.make ~name:"shuffle reaches all 4! permutations roughly uniformly"
+    ~count:5 QCheck.int
+    (fun seed ->
+       let rng = Prelude.Rng.make seed in
+       let trials = 6_000 in
+       let tbl = Hashtbl.create 24 in
+       for _ = 1 to trials do
+         let p = Prelude.Rng.shuffle rng [ 1; 2; 3; 4 ] in
+         let n = try Hashtbl.find tbl p with Not_found -> 0 in
+         Hashtbl.replace tbl p (n + 1)
+       done;
+       let expected = trials / 24 in
+       Hashtbl.length tbl = 24
+       && Hashtbl.fold
+            (fun _ c ok -> ok && c > expected / 2 && c < expected * 2)
+            tbl true)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle output is a permutation of its input"
+    ~count:200
+    QCheck.(pair int (list small_int))
+    (fun (seed, xs) ->
+       let rng = Prelude.Rng.make seed in
+       List.sort Stdlib.compare (Prelude.Rng.shuffle rng xs)
+       = List.sort Stdlib.compare xs)
 
 let test_rng_invalid_bound () =
   let rng = Prelude.Rng.make 1 in
@@ -242,7 +317,13 @@ let () =
          QCheck_alcotest.to_alcotest prop_ratio_mul_associative;
          QCheck_alcotest.to_alcotest prop_ratio_distributive;
          QCheck_alcotest.to_alcotest prop_ratio_add_neg;
-         QCheck_alcotest.to_alcotest prop_ratio_normalised ]);
+         QCheck_alcotest.to_alcotest prop_ratio_normalised;
+         Alcotest.test_case "overflow avoided by gcd reduction" `Quick
+           test_ratio_overflow_reduced;
+         Alcotest.test_case "unrepresentable results raise Overflow" `Quick
+           test_ratio_overflow_raises;
+         Alcotest.test_case "exact compare near max_int" `Quick
+           test_ratio_compare_exact_near_max ]);
       ("stats",
        [ Alcotest.test_case "basic summary" `Quick test_stats_basic;
          Alcotest.test_case "even median" `Quick test_stats_even_median;
@@ -254,7 +335,9 @@ let () =
          Alcotest.test_case "bounds" `Quick test_rng_bounds;
          Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
          Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
-         Alcotest.test_case "split" `Quick test_rng_split_independent ]);
+         Alcotest.test_case "split" `Quick test_rng_split_independent;
+         QCheck_alcotest.to_alcotest prop_shuffle_uniform_over_permutations;
+         QCheck_alcotest.to_alcotest prop_shuffle_is_permutation ]);
       ("histogram",
        [ Alcotest.test_case "binning" `Quick test_histogram_bins;
          Alcotest.test_case "single value" `Quick test_histogram_single_value;
