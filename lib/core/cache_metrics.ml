@@ -25,18 +25,30 @@ let olds_all_evicted state ways =
   let olds = List.init ways (fun i -> -(i + 1)) in
   not (List.exists (Cache.Policy.resident state) olds)
 
+(* Below this many initial states the per-depth pool's domain spawn/join
+   overhead dominates the (microseconds of) policy updates, so small
+   explorations — all of ways = 2, the shallow depths of ways = 4 — stay on
+   the sequential loop; only the combinatorially large depths fan out. *)
+let parallel_threshold = 512
+
 let search ?jobs ~check ~ways ~max_probes kind =
   let rec try_probes j =
     if j > max_probes then Beyond max_probes
     else begin
       let probes = List.init j (fun i -> i + 1) in
       let states = initial_states kind ~ways ~probes in
+      let state_count = List.length states in
       (* Each initial state is pushed through the probe sequence
-         independently: fan the exploration out across the domain pool. *)
+         independently: fan the exploration out across the domain pool once
+         the state space is big enough to amortise it. *)
+      let push s = final_state s probes in
       let finals =
-        Prelude.Parallel.map ?jobs (fun s -> final_state s probes) states
+        if state_count < parallel_threshold then List.map push states
+        else Prelude.Parallel.map ?jobs push states
       in
-      Prelude.Instrument.add_evals (List.length states);
+      (* One eval per state-transition explored (state x probe), matching
+         Quantify's cells-based accounting of kernel work. *)
+      Prelude.Instrument.add_evals (state_count * j);
       if check finals then Exact j else try_probes (j + 1)
     end
   in

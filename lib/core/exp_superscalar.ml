@@ -45,10 +45,17 @@ let run () =
   let program, _shapes = Isa.Workload.program w in
   let evaluate regulate =
     let config = { Pipeline.Superscalar.width = 2; regulate } in
+    (* Quantify.evaluate may call [time] from several worker domains, so the
+       side-channel accumulator is mutex-guarded. Accumulation order varies
+       with scheduling, but distinct_entry_signatures is a set cardinality,
+       so the reported count is identical for any job count. *)
+    let mu = Mutex.create () in
     let results = ref [] in
     let time init input =
       let result = Pipeline.Superscalar.run config ~init (Isa.Exec.run program input) in
+      Mutex.lock mu;
       results := result :: !results;
+      Mutex.unlock mu;
       result.Pipeline.Superscalar.cycles
     in
     let matrix =

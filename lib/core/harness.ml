@@ -52,12 +52,16 @@ let outcomes program inputs = List.map (Isa.Exec.run program) inputs
 let ratio_string r =
   Printf.sprintf "%s (%.3f)" (Prelude.Ratio.to_string r) (Prelude.Ratio.to_float r)
 
+(* Counter deltas, not reset-then-snapshot: resetting would wipe counts a
+   pool worker domain has accumulated for other tasks and leave a residue
+   behind that Pool.drain would credit to the caller a second time. *)
 let timed f =
-  Prelude.Instrument.reset ();
+  let before = Prelude.Instrument.snapshot () in
   let started = Prelude.Instrument.now () in
   let v = f () in
   let wall_s = Prelude.Instrument.now () -. started in
-  let counts = Prelude.Instrument.snapshot () in
+  let after = Prelude.Instrument.snapshot () in
   (v,
-   { Report.wall_s; cells = counts.Prelude.Instrument.cells;
-     evals = counts.Prelude.Instrument.evals })
+   { Report.wall_s;
+     cells = after.Prelude.Instrument.cells - before.Prelude.Instrument.cells;
+     evals = after.Prelude.Instrument.evals - before.Prelude.Instrument.evals })

@@ -7,8 +7,6 @@ let zero = { evals = 0; cells = 0 }
 
 let key = Domain.DLS.new_key (fun () -> ref zero)
 
-let reset () = Domain.DLS.get key := zero
-
 let snapshot () = !(Domain.DLS.get key)
 
 let add_evals n =

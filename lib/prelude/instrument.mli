@@ -3,24 +3,25 @@
     The hot kernels ({!Quantify.evaluate}-style [Q * I] sweeps and
     replacement-policy state explorations) report how much work they did by
     bumping these counters; the experiment harness snapshots them around
-    each run to attribute cost per experiment.
+    each run and attributes the {e delta} to that experiment.
 
-    Counters live in domain-local storage: an experiment running on one
-    worker domain never sees the counts of an experiment running
-    concurrently on another. Parallel kernels are expected to credit their
-    whole sweep to the {e calling} domain once the sweep completes (they
-    know its size), so nested data-parallelism attributes correctly. *)
+    Counters live in domain-local storage and grow monotonically — there is
+    deliberately no reset, so a pool worker interleaving several
+    experiments' tasks never wipes or double-counts another task's
+    contribution. An experiment running on one worker domain never sees the
+    counts of an experiment running concurrently on another; on pool drain
+    each worker's total is credited once to the submitting domain, so
+    aggregate counts on the caller stay consistent with the per-experiment
+    deltas. *)
 
 type counts = {
   evals : int;  (** kernel evaluations: [T_p(q,i)] calls, states explored *)
   cells : int;  (** [Q * I] matrix cells materialised *)
 }
 
-val reset : unit -> unit
-(** Zero the calling domain's counters. *)
-
 val snapshot : unit -> counts
-(** The calling domain's counters since the last {!reset}. *)
+(** The calling domain's counters (cumulative since the domain started;
+    callers wanting per-phase numbers take deltas between snapshots). *)
 
 val add_evals : int -> unit
 val add_cells : int -> unit

@@ -21,6 +21,14 @@ let resolve_jobs = function
   | Some n when n < 1 -> invalid_arg "Parallel: jobs must be >= 1"
   | Some n -> n
 
+(* True on pool worker domains. A task running on a worker already owns one
+   slot of the width the caller asked for, so any Parallel call it makes
+   runs sequentially in place instead of spawning a nested pool: live
+   domains stay bounded by [jobs + 1] no matter how deeply the hot paths
+   nest (run_all -> exp_atlas -> Quantify.evaluate), well clear of the
+   OCaml runtime's total-domain cap, and cores are never oversubscribed. *)
+let on_worker = Domain.DLS.new_key (fun () -> false)
+
 module Pool = struct
   type t = {
     mu : Mutex.t;
@@ -49,9 +57,11 @@ module Pool = struct
     end
 
   let worker t =
+    Domain.DLS.set on_worker true;
     work_loop t;
-    (* Worker domains start with zero counters, so the final snapshot is
-       exactly the work this pool's tasks did on this domain. *)
+    (* Worker domains start with zero counters and nothing on this domain
+       ever resets them (Harness.timed only reads deltas), so the final
+       snapshot is exactly the work this pool's tasks did here. *)
     let counts = Instrument.snapshot () in
     ignore (Atomic.fetch_and_add t.worker_evals counts.Instrument.evals);
     ignore (Atomic.fetch_and_add t.worker_cells counts.Instrument.cells)
@@ -94,7 +104,7 @@ type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
    slice becomes one pool task. *)
 let run_tasks ~jobs ~count body =
   if count > 0 then begin
-    if jobs <= 1 || count = 1 then
+    if jobs <= 1 || count = 1 || Domain.DLS.get on_worker then
       for i = 0 to count - 1 do body i done
     else begin
       let slices = Stdlib.min count (jobs * 8) in

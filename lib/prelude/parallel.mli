@@ -16,7 +16,12 @@
       exception (with its backtrace) is re-raised in the calling domain
       after all workers have stopped;
     - {b bounded width}: at most [jobs] domains run tasks at any time
-      (including the calling domain's contribution via [Domain.join]).
+      (including the calling domain's contribution via [Domain.join]);
+    - {b no nested pools}: a call made from inside a pool task runs
+      sequentially on that worker domain (same deterministic result), so
+      arbitrarily nested data-parallelism never spawns more than
+      [jobs + 1] live domains — the OCaml runtime caps total domains at
+      roughly 128, which naive pool-per-worker nesting would exceed.
 
     The pool is built only on [Domain], [Mutex] and [Condition] from the
     standard library — no external dependencies. *)

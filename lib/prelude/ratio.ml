@@ -29,8 +29,11 @@ let make num den =
   else begin
     let sign = if den < 0 then -1 else 1 in
     let num = checked_mul sign num and den = checked_mul sign den in
-    let g = gcd (abs num) den in
-    if g = 0 then { n = 0; d = 1 } else { n = num / g; d = den / g }
+    (* gcd(|num|, den) computed as gcd(den, |num mod den|): the remainder's
+       magnitude is < den, so nothing wraps even for num = min_int (whose
+       [abs] is itself). *)
+    let g = gcd den (abs (num mod den)) in
+    { n = num / g; d = den / g }
   end
 
 let of_int n = { n; d = 1 }
@@ -66,28 +69,27 @@ let inv a =
 
 let div a b = if b.n = 0 then raise Division_by_zero else mul a (inv b)
 
-(* Overflow-free comparison by continued-fraction descent: compare integer
-   parts, then recurse on the flipped fractional remainders. Denominators
-   are positive by construction, so termination mirrors Euclid's gcd. *)
-let rec compare_pos an ad bn bd =
-  let qa = an / ad and ra = an mod ad in
-  let qb = bn / bd and rb = bn mod bd in
+(* Overflow-free comparison by continued-fraction descent on floor
+   divisions: compare integer parts, then recurse on the flipped fractional
+   remainders. Floor division keeps remainders in [0, d), so after one step
+   the descent runs over positive rationals and terminates like Euclid's
+   gcd. Nothing is ever negated, so numerators of [min_int] (whose negation
+   would wrap) compare exactly too. The [qa - 1] adjustment cannot wrap:
+   [qa = min_int] forces [ad = 1], where the remainder is 0. *)
+let floor_divmod n d =
+  let q = n / d and r = n mod d in
+  if r < 0 then (q - 1, r + d) else (q, r)
+
+let rec compare_cf an ad bn bd =
+  let qa, ra = floor_divmod an ad in
+  let qb, rb = floor_divmod bn bd in
   if qa <> qb then Stdlib.compare qa qb
   else if ra = 0 && rb = 0 then 0
   else if ra = 0 then -1
   else if rb = 0 then 1
-  else compare_pos bd rb ad ra
+  else compare_cf bd rb ad ra
 
-let compare a b =
-  match a.n >= 0, b.n >= 0 with
-  | true, false -> 1
-  | false, true -> -1
-  | true, true ->
-    if a.n = 0 && b.n = 0 then 0
-    else if a.n = 0 then -1
-    else if b.n = 0 then 1
-    else compare_pos a.n a.d b.n b.d
-  | false, false -> compare_pos (-b.n) b.d (-a.n) a.d
+let compare a b = compare_cf a.n a.d b.n b.d
 
 let equal a b = compare a b = 0
 let min a b = if compare a b <= 0 then a else b

@@ -47,6 +47,34 @@ let test_quantify_exception_through_pool () =
             ~states:(List.init 16 Fun.id) ~inputs:[ 0; 1; 2 ]
             ~time:(fun q i -> if q = 11 && i = 2 then 0 else q + i + 1) ()))
 
+(* Regression: Parallel calls made from inside pool tasks used to spawn a
+   fresh pool per worker, so nesting multiplied live domains (jobs^2 here,
+   jobs^3 via run_all -> exp_atlas -> Quantify.evaluate) straight past the
+   OCaml runtime's ~128-domain cap, killing the run with Domain.spawn
+   failures. Nested calls now run sequentially on the worker, so this holds
+   total domains at [jobs] while still returning List.map-identical
+   results. *)
+let test_nested_maps_bounded () =
+  let jobs = 16 in
+  let inner i = List.init 64 (fun j -> (i * 131) lxor j) in
+  let expected = List.map (fun i -> List.map succ (inner i)) (List.init 24 Fun.id) in
+  let got =
+    Prelude.Parallel.map ~jobs
+      (fun i -> Prelude.Parallel.map ~jobs succ (inner i))
+      (List.init 24 Fun.id)
+  in
+  Alcotest.(check bool) "nested map = nested List.map" true (got = expected);
+  (* Three levels deep for good measure: the inner two must both degrade. *)
+  let deep =
+    Prelude.Parallel.map ~jobs
+      (fun i ->
+         Prelude.Parallel.fold ~jobs ~chunk:8 ~map:Fun.id ~combine:( + ) ~init:0
+           (Prelude.Parallel.map ~jobs succ (inner i)))
+      (List.init 24 Fun.id)
+  in
+  Alcotest.(check (list int)) "triple nesting sums"
+    (List.map (fun row -> List.fold_left ( + ) 0 row) expected) deep
+
 let test_invalid_jobs () =
   Alcotest.check_raises "jobs must be >= 1"
     (Invalid_argument "Parallel: jobs must be >= 1")
@@ -151,6 +179,29 @@ let test_wcet_bracket_determinism () =
          true (lb = sequential_lb))
     job_counts
 
+(* Regression: TAB1.R2's [time] closure accumulates Superscalar.run results
+   from whichever domains evaluate the matrix rows; unsynchronised, that ref
+   update raced and could drop results, nondeterministically undercounting
+   distinct BB-entry pipeline states. The accumulator is now mutex-guarded,
+   so the report (a set cardinality) is identical at any job count. The
+   experiment reads the process-wide default, so set it around each run. *)
+let test_superscalar_signatures_deterministic () =
+  let run jobs =
+    Prelude.Parallel.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () ->
+          Prelude.Parallel.set_default_jobs (Prelude.Parallel.recommended_jobs ()))
+      (fun () -> Predictability.Experiments.run "TAB1.R2")
+  in
+  let reference = run 1 in
+  List.iteri
+    (fun attempt jobs ->
+       Alcotest.(check bool)
+         (Printf.sprintf "TAB1.R2 outcome bit-identical (jobs=%d, attempt %d)"
+            jobs attempt)
+         true (run jobs = reference))
+    [ 2; 8; 8; 8 ]
+
 (* The acceptance criterion of the engine: the full experiment suite is
    bit-identical (outcome for outcome) across job counts. Timing metadata is
    excluded from the comparison (wall-clock necessarily differs). *)
@@ -205,10 +256,14 @@ let () =
            test_exception_propagation;
          Alcotest.test_case "exception through Quantify pool" `Quick
            test_quantify_exception_through_pool;
+         Alcotest.test_case "nested maps stay domain-bounded" `Quick
+           test_nested_maps_bounded;
          Alcotest.test_case "invalid job counts" `Quick test_invalid_jobs ]);
       ("determinism",
        [ Alcotest.test_case "Quantify.predictability jobs 1/2/8" `Quick
            test_quantify_determinism;
+         Alcotest.test_case "TAB1.R2 signature count jobs 1/2/8" `Quick
+           test_superscalar_signatures_deterministic;
          Alcotest.test_case "Cache_metrics evict/fill jobs 1/2/8" `Quick
            test_cache_metrics_determinism;
          Alcotest.test_case "Wcet.bracket jobs 1/2/8" `Quick

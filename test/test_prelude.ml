@@ -132,6 +132,29 @@ let test_ratio_compare_exact_near_max () =
     (Prelude.Ratio.(neg a < neg b));
   Alcotest.(check bool) "sign split" true (Prelude.Ratio.(neg a < b))
 
+(* Regression: negative/negative comparison used to negate raw numerators,
+   and [-min_int] wraps back to min_int, so values with a min_int numerator
+   compared through garbage. The floor-division descent never negates. *)
+let test_ratio_compare_min_int () =
+  let open Prelude.Ratio in
+  let mi = make min_int 1 in
+  Alcotest.(check int) "min_int/1 = min_int/1" 0 (compare mi (make min_int 1));
+  Alcotest.(check int) "min_int/1 < -max_int/1" (-1)
+    (compare mi (make (- max_int) 1));
+  Alcotest.(check int) "min_int/1 < min_int/2 (reduces to (min_int/2)/1)" (-1)
+    (compare mi (make min_int 2));
+  (* gcd(|min_int|, 5) = 1 and gcd(|min_int|, 3) = 1: both keep the min_int
+     numerator, exercising the fractional descent on both sides. *)
+  Alcotest.(check int) "min_int/5 > min_int/3" 1
+    (compare (make min_int 5) (make min_int 3));
+  Alcotest.(check int) "min_int/3 < min_int/5" (-1)
+    (compare (make min_int 3) (make min_int 5));
+  Alcotest.(check int) "min_int/max_int > -2/1" 1
+    (compare (make min_int max_int) (make (-2) 1));
+  Alcotest.(check int) "min_int/1 < 1/2" (-1) (compare mi (make 1 2));
+  check_ratio "min picks the wrapped-prone operand" mi (min mi (make (-1) 1));
+  check_ratio "max avoids it" (make (-1) 1) (max mi (make (-1) 1))
+
 (* --- Stats ------------------------------------------------------------ *)
 
 let test_stats_basic () =
@@ -323,7 +346,9 @@ let () =
          Alcotest.test_case "unrepresentable results raise Overflow" `Quick
            test_ratio_overflow_raises;
          Alcotest.test_case "exact compare near max_int" `Quick
-           test_ratio_compare_exact_near_max ]);
+           test_ratio_compare_exact_near_max;
+         Alcotest.test_case "exact compare with min_int numerators" `Quick
+           test_ratio_compare_min_int ]);
       ("stats",
        [ Alcotest.test_case "basic summary" `Quick test_stats_basic;
          Alcotest.test_case "even median" `Quick test_stats_even_median;
