@@ -231,15 +231,27 @@ let run_microbenchmarks () =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
+  let kernels =
+    List.map
+      (fun (name, ols_result) ->
+         let estimate =
+           match Analyze.OLS.estimates ols_result with
+           | Some (v :: _) -> Some v
+           | Some [] | None -> None
+         in
+         (name, estimate))
+      (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+  in
   List.iter
-    (fun (name, ols_result) ->
-       let estimate =
-         match Analyze.OLS.estimates ols_result with
-         | Some (v :: _) -> Printf.sprintf "%12.1f" v
-         | Some [] | None -> "      (n/a)"
+    (fun (name, estimate) ->
+       let text =
+         match estimate with
+         | Some v -> Printf.sprintf "%12.1f" v
+         | None -> "      (n/a)"
        in
-       Printf.printf "%-40s %s ns/run\n" name estimate)
-    (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+       Printf.printf "%-40s %s ns/run\n" name text)
+    kernels;
+  kernels
 
 (* --- Part 3: parallel-engine speedup on the exhaustive experiments. ----- *)
 
@@ -248,6 +260,14 @@ let time_run f =
   let v = f () in
   (v, Unix.gettimeofday () -. started)
 
+type speedup = {
+  case : string;
+  seq_s : float;
+  par_s : float;
+  par_jobs : int;
+  bit_identical : bool;
+}
+
 let run_speedup_suite jobs =
   Printf.printf
     "--- Part 3: parallel evaluation engine (jobs=1 vs jobs=%d) ---\n" jobs;
@@ -255,34 +275,81 @@ let run_speedup_suite jobs =
     [ ("ext_atlas", fun () -> Predictability.Exp_atlas.run ());
       ("rw_cache_metrics", fun () -> Predictability.Exp_cache_metrics.run ()) ]
   in
-  List.iter
-    (fun (name, runner) ->
-       Prelude.Parallel.set_default_jobs 1;
-       let seq_outcome, seq_s = time_run runner in
-       Prelude.Parallel.set_default_jobs jobs;
-       let par_outcome, par_s = time_run runner in
-       Printf.printf
-         "%-20s jobs=1: %.3fs   jobs=%d: %.3fs   speedup: %.2fx   \
-          bit-identical: %b\n%!"
-         name seq_s jobs par_s
-         (if par_s > 0. then seq_s /. par_s else Float.infinity)
-         (seq_outcome = par_outcome))
-    cases;
-  Prelude.Parallel.set_default_jobs jobs
+  let speedups =
+    List.map
+      (fun (name, runner) ->
+         Prelude.Parallel.set_default_jobs 1;
+         let seq_outcome, seq_s = time_run runner in
+         Prelude.Parallel.set_default_jobs jobs;
+         let par_outcome, par_s = time_run runner in
+         let record =
+           { case = name; seq_s; par_s; par_jobs = jobs;
+             bit_identical = seq_outcome = par_outcome }
+         in
+         Printf.printf
+           "%-20s jobs=1: %.3fs   jobs=%d: %.3fs   speedup: %.2fx   \
+            bit-identical: %b\n%!"
+           name seq_s jobs par_s
+           (if par_s > 0. then seq_s /. par_s else Float.infinity)
+           record.bit_identical;
+         record)
+      cases
+  in
+  Prelude.Parallel.set_default_jobs jobs;
+  speedups
 
-let parse_jobs () =
+(* --- The BENCH_<n>.json trajectory point (--json FILE). ----------------- *)
+
+let speedup_to_json s =
+  Prelude.Json.Obj
+    [ ("name", Prelude.Json.String s.case);
+      ("seq_s", Prelude.Json.Float s.seq_s);
+      ("par_s", Prelude.Json.Float s.par_s);
+      ("jobs", Prelude.Json.Int s.par_jobs);
+      ("speedup",
+       if s.par_s > 0. then Prelude.Json.Float (s.seq_s /. s.par_s)
+       else Prelude.Json.Null);
+      ("bit_identical", Prelude.Json.Bool s.bit_identical) ]
+
+let kernel_to_json (name, estimate) =
+  Prelude.Json.Obj
+    [ ("name", Prelude.Json.String name);
+      ("ns_per_run",
+       match estimate with
+       | Some ns -> Prelude.Json.Float ns
+       | None -> Prelude.Json.Null) ]
+
+let bench_json ~jobs ~elapsed_s ~results ~speedups ~kernels =
+  Prelude.Json.Obj
+    [ ("schema", Prelude.Json.String "predlab/bench");
+      ("version", Prelude.Json.Int 1);
+      ("jobs", Prelude.Json.Int jobs);
+      ("elapsed_s", Prelude.Json.Float elapsed_s);
+      ("wall_sum_s",
+       Prelude.Json.Float (Predictability.Experiments.wall_sum results));
+      ("experiments", Predictability.Experiments.results_to_json results);
+      ("kernels", Prelude.Json.List (List.map kernel_to_json kernels));
+      ("speedups", Prelude.Json.List (List.map speedup_to_json speedups)) ]
+
+let parse_args () =
   let jobs = ref (Prelude.Parallel.recommended_jobs ()) in
+  let json_file = ref "" in
   let args =
     [ ("--jobs", Arg.Set_int jobs,
-       "N  worker domains for Part 3 (default: recommended_domain_count)") ]
+       "N  worker domains for Part 3 (default: recommended_domain_count)");
+      ("--json", Arg.Set_string json_file,
+       "FILE  also write the whole run as a machine-readable trajectory \
+        point (BENCH_<n>.json; schema predlab/bench, the baseline format \
+        of `predlab compare`)") ]
   in
   Arg.parse args
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench [--jobs N]";
-  Stdlib.max 1 !jobs
+    "bench [--jobs N] [--json FILE]";
+  (Stdlib.max 1 !jobs, if !json_file = "" then None else Some !json_file)
 
 let () =
-  let jobs = parse_jobs () in
+  let jobs, json_file = parse_args () in
+  let started = Unix.gettimeofday () in
   print_endline "=== Predlab benchmark harness ===";
   print_endline "--- Part 1: regenerate every figure and table of the paper ---";
   print_newline ();
@@ -307,7 +374,15 @@ let () =
   Printf.printf "Reproduction summary: %d/%d experiments passed all checks\n\n"
     (List.length results - List.length failed)
     (List.length results);
-  run_speedup_suite jobs;
+  let speedups = run_speedup_suite jobs in
   print_newline ();
-  run_microbenchmarks ();
+  let kernels = run_microbenchmarks () in
+  (match json_file with
+   | None -> ()
+   | Some path ->
+     let elapsed_s = Unix.gettimeofday () -. started in
+     let doc = bench_json ~jobs ~elapsed_s ~results ~speedups ~kernels in
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Prelude.Json.to_string_pretty doc));
+     Printf.printf "wrote %s\n" path);
   if failed <> [] then exit 1

@@ -1,6 +1,9 @@
 (* predlab — command-line front end to the predictability laboratory:
    list/run the experiments that reproduce the paper's figures and tables,
-   print the survey tables, and summarise per-experiment cost. *)
+   print the survey tables, summarise per-experiment cost, and diff two
+   machine-readable reports as a regression gate. *)
+
+type format = Text | Json
 
 let list_experiments () =
   List.iter
@@ -9,19 +12,41 @@ let list_experiments () =
 
 let apply_jobs jobs = Prelude.Parallel.set_default_jobs jobs
 
-let run_one jobs id =
+let print_json_report ~jobs ~elapsed_s results =
+  print_string
+    (Prelude.Json.to_string_pretty
+       (Predictability.Experiments.to_json ~jobs ~elapsed_s results))
+
+let exit_on_failures results =
+  let failed =
+    List.filter
+      (fun r ->
+         not (Predictability.Report.all_passed
+                r.Predictability.Experiments.outcome))
+      results
+  in
+  if failed <> [] then exit 1
+
+let run_one jobs format id =
   apply_jobs jobs;
   match Predictability.Experiments.lookup id with
   | Error message ->
     Printf.eprintf "%s\n" message;
     exit 2
   | Ok _ ->
-    let { Predictability.Experiments.outcome; timing } =
-      Predictability.Experiments.run_timed id
+    let result, elapsed_s =
+      Predictability.Harness.elapsed (fun () ->
+          Predictability.Experiments.run_timed id)
     in
-    print_string (Predictability.Report.render outcome);
-    Printf.printf "  [%s]\n" (Predictability.Report.timing_string timing);
-    if not (Predictability.Report.all_passed outcome) then exit 1
+    (match format with
+     | Text ->
+       print_string (Predictability.Report.render
+                       result.Predictability.Experiments.outcome);
+       Printf.printf "  [%s]\n"
+         (Predictability.Report.timing_string
+            result.Predictability.Experiments.timing)
+     | Json -> print_json_report ~jobs ~elapsed_s [ result ]);
+    exit_on_failures [ result ]
 
 let print_results results =
   List.iter
@@ -31,60 +56,108 @@ let print_results results =
        print_newline ())
     results
 
-let run_all jobs =
+let run_all jobs format =
   apply_jobs jobs;
-  let results = Predictability.Experiments.run_all ~jobs () in
-  print_results results;
-  let failed =
-    List.filter
-      (fun r ->
-         not (Predictability.Report.all_passed
-                r.Predictability.Experiments.outcome))
-      results
+  let results, elapsed_s =
+    Predictability.Harness.elapsed (fun () ->
+        Predictability.Experiments.run_all ~jobs ())
   in
-  Printf.printf "%d/%d experiments fully passed their checks (jobs=%d)\n"
-    (List.length results - List.length failed) (List.length results) jobs;
-  if failed <> [] then exit 1
+  (match format with
+   | Text ->
+     print_results results;
+     let failed =
+       List.filter
+         (fun r ->
+            not (Predictability.Report.all_passed
+                   r.Predictability.Experiments.outcome))
+         results
+     in
+     Printf.printf "%d/%d experiments fully passed their checks (jobs=%d)\n"
+       (List.length results - List.length failed) (List.length results) jobs
+   | Json -> print_json_report ~jobs ~elapsed_s results);
+  exit_on_failures results
 
-let stats jobs =
+let stats jobs format =
   apply_jobs jobs;
-  let results = Predictability.Experiments.run_all ~jobs () in
-  let table =
-    Prelude.Table.make
-      ~header:[ "experiment"; "wall s"; "Q*I cells"; "kernel evals"; "checks" ]
+  let results, elapsed_s =
+    Predictability.Harness.elapsed (fun () ->
+        Predictability.Experiments.run_all ~jobs ())
   in
-  let total_wall = ref 0. and total_cells = ref 0 and total_evals = ref 0 in
-  List.iter
-    (fun { Predictability.Experiments.outcome; timing } ->
-       total_wall := !total_wall +. timing.Predictability.Report.wall_s;
-       total_cells := !total_cells + timing.Predictability.Report.cells;
-       total_evals := !total_evals + timing.Predictability.Report.evals;
-       let checks = outcome.Predictability.Report.checks in
-       let passed =
-         List.length
-           (List.filter (fun c -> c.Predictability.Report.passed) checks)
-       in
-       Prelude.Table.add_row table
-         [ outcome.Predictability.Report.id;
-           Printf.sprintf "%.3f" timing.Predictability.Report.wall_s;
-           string_of_int timing.Predictability.Report.cells;
-           string_of_int timing.Predictability.Report.evals;
-           Printf.sprintf "%d/%d" passed (List.length checks) ])
-    results;
-  Prelude.Table.add_separator table;
-  Prelude.Table.add_row table
-    [ "total"; Printf.sprintf "%.3f" !total_wall; string_of_int !total_cells;
-      string_of_int !total_evals; "" ];
-  print_string (Prelude.Table.render table);
-  Printf.printf "jobs=%d (recommended on this machine: %d)\n" jobs
-    (Prelude.Parallel.recommended_jobs ());
-  let all_ok =
-    List.for_all
-      (fun r ->
-         Predictability.Report.all_passed r.Predictability.Experiments.outcome)
-      results
-  in
-  if not all_ok then exit 1
+  (match format with
+   | Json -> print_json_report ~jobs ~elapsed_s results
+   | Text ->
+     let table =
+       Prelude.Table.make
+         ~header:[ "experiment"; "wall s"; "Q*I cells"; "kernel evals";
+                   "checks" ]
+     in
+     let total_cells = ref 0 and total_evals = ref 0 in
+     List.iter
+       (fun { Predictability.Experiments.outcome; timing } ->
+          total_cells := !total_cells + timing.Predictability.Report.cells;
+          total_evals := !total_evals + timing.Predictability.Report.evals;
+          let checks = outcome.Predictability.Report.checks in
+          let passed =
+            List.length
+              (List.filter (fun c -> c.Predictability.Report.passed) checks)
+          in
+          Prelude.Table.add_row table
+            [ outcome.Predictability.Report.id;
+              Printf.sprintf "%.3f" timing.Predictability.Report.wall_s;
+              string_of_int timing.Predictability.Report.cells;
+              string_of_int timing.Predictability.Report.evals;
+              Printf.sprintf "%d/%d" passed (List.length checks) ])
+       results;
+     let wall_sum = Predictability.Experiments.wall_sum results in
+     Prelude.Table.add_separator table;
+     (* Two totals on purpose: per-experiment walls overlap under jobs>1, so
+        their sum is CPU-time-flavoured; elapsed is the true wall clock. *)
+     Prelude.Table.add_row table
+       [ "sum"; Printf.sprintf "%.3f" wall_sum; string_of_int !total_cells;
+         string_of_int !total_evals; "" ];
+     Prelude.Table.add_row table
+       [ "elapsed"; Printf.sprintf "%.3f" elapsed_s; ""; ""; "" ];
+     print_string (Prelude.Table.render table);
+     Printf.printf
+       "sum = per-experiment wall added up (runs overlap under jobs>1); \
+        elapsed = true wall clock\n";
+     Printf.printf "jobs=%d (recommended on this machine: %d)\n" jobs
+       (Prelude.Parallel.recommended_jobs ()));
+  exit_on_failures results
+
+let read_json_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error message ->
+    Printf.eprintf "predlab compare: %s\n" message;
+    exit 2
+  | contents -> (
+      match Prelude.Json.parse contents with
+      | Ok json -> json
+      | Error message ->
+        Printf.eprintf "predlab compare: %s: %s\n" path message;
+        exit 2)
+
+let compare_reports tolerance baseline_path current_path =
+  let baseline = read_json_file baseline_path in
+  let current = read_json_file current_path in
+  match
+    Predictability.Regression.compare_reports ~tolerance_pct:tolerance
+      ~baseline ~current ()
+  with
+  | exception Invalid_argument message ->
+    Printf.eprintf "predlab compare: %s\n" message;
+    exit 2
+  | [] ->
+    Printf.printf "OK: %s is no worse than %s (tolerance %.0f%%)\n"
+      current_path baseline_path tolerance
+  | findings ->
+    List.iter
+      (fun f ->
+         Printf.printf "%s\n" (Predictability.Regression.finding_string f))
+      findings;
+    Printf.printf "%d regression finding(s) comparing %s against %s\n"
+      (List.length findings) current_path baseline_path;
+    exit 1
 
 let list_workloads () =
   List.iter
@@ -135,6 +208,15 @@ let jobs_arg =
                  (default: Domain.recommended_domain_count). Results are \
                  bit-identical for any value.")
 
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", Text); ("json", Json) ]) Text
+       & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Output format: $(b,text) (human-readable reports) or \
+                 $(b,json) (one machine-readable document per invocation, \
+                 schema predlab/report — the input of $(b,predlab \
+                 compare)).")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List all experiments")
     Term.(const list_experiments $ const ())
@@ -145,18 +227,54 @@ let run_cmd =
          & info [] ~docv:"ID" ~doc:"Experiment id (see `predlab list`)")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its report")
-    Term.(const run_one $ jobs_arg $ id)
+    Term.(const run_one $ jobs_arg $ format_arg $ id)
 
 let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ jobs_arg)
+    Term.(const run_all $ jobs_arg $ format_arg)
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run every experiment and print a per-experiment cost summary \
-             (wall-clock, Q*I matrix cells, kernel evaluations)")
-    Term.(const stats $ jobs_arg)
+             (wall-clock, Q*I matrix cells, kernel evaluations). The text \
+             table reports both the sum of per-experiment wall times and \
+             the true elapsed wall clock — they differ under --jobs > 1.")
+    Term.(const stats $ jobs_arg $ format_arg)
+
+let compare_cmd =
+  let tolerance_arg =
+    let nonneg =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok t when t >= 0. -> Ok t
+        | Ok t -> Error (`Msg (Printf.sprintf "%g is a negative tolerance" t))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.float)
+    in
+    Arg.(value
+         & opt nonneg 50.
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Allowed slowdown in percent before a timing counts as a \
+                   regression (default 50, i.e. up to 1.5x baseline is \
+                   tolerated). Check regressions are gated regardless.")
+  in
+  let baseline_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE" ~doc:"Baseline report (JSON)")
+  in
+  let current_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CURRENT" ~doc:"Current report (JSON)")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Regression gate: diff two machine-readable reports (predlab \
+             --format json or bench --json output) and exit nonzero on \
+             check regressions, missing experiments, or slowdowns beyond \
+             the tolerance.")
+    Term.(const compare_reports $ tolerance_arg $ baseline_arg $ current_arg)
 
 let survey_cmd =
   Cmd.v (Cmd.info "survey" ~doc:"Print the paper's Tables 1 and 2 as template instances")
@@ -180,7 +298,7 @@ let main =
        ~doc:"Predictability laboratory: reproduction of Grund, Reineke & \
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
-    [ list_cmd; run_cmd; all_cmd; stats_cmd; survey_cmd; workloads_cmd;
-      program_cmd ]
+    [ list_cmd; run_cmd; all_cmd; stats_cmd; compare_cmd; survey_cmd;
+      workloads_cmd; program_cmd ]
 
 let () = exit (Cmd.eval main)

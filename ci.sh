@@ -1,9 +1,16 @@
 #!/bin/sh
 # Minimal CI: build, full test suite (unit + qcheck + integration, including
-# the slow exhaustive experiments), and a smoke run of the CLI with the
-# parallel engine enabled.
+# the slow exhaustive experiments), a smoke run of the CLI with the
+# parallel engine enabled, and the perf-regression gate: the current run's
+# machine-readable report diffed against the committed BENCH_0.json
+# baseline. Checks are gated hard at any tolerance; timings use a generous
+# tolerance here because the baseline was recorded on different hardware
+# (use `predlab compare old.json new.json` with the default 50% tolerance
+# when both reports come from the same machine).
 set -eux
 
 dune build
 dune runtest
 dune exec bin/predlab.exe -- run EQ4 --jobs 2
+dune exec bin/predlab.exe -- stats --jobs 2 --format json > _build/current.json
+dune exec bin/predlab.exe -- compare BENCH_0.json _build/current.json --tolerance 400

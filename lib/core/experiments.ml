@@ -58,6 +58,33 @@ let run_timed id =
   | Ok (_, _, runner) -> timed_runner runner
   | Error message -> invalid_arg ("Experiments.run_timed: " ^ message)
 
+let result_to_json { outcome; timing } =
+  match Report.outcome_to_json outcome, Report.timing_to_json timing with
+  | Prelude.Json.Obj outcome_fields, Prelude.Json.Obj timing_fields ->
+    Prelude.Json.Obj (outcome_fields @ timing_fields)
+  | _ -> assert false  (* both converters return objects *)
+
+let results_to_json results =
+  Prelude.Json.List (List.map result_to_json results)
+
+let wall_sum results =
+  List.fold_left (fun acc r -> acc +. r.timing.Report.wall_s) 0. results
+
+let to_json ~jobs ~elapsed_s results =
+  let failed =
+    List.filter (fun r -> not (Report.all_passed r.outcome)) results
+  in
+  Prelude.Json.Obj
+    [ ("schema", Prelude.Json.String "predlab/report");
+      ("version", Prelude.Json.Int 1);
+      ("jobs", Prelude.Json.Int jobs);
+      ("elapsed_s", Prelude.Json.Float elapsed_s);
+      ("wall_sum_s", Prelude.Json.Float (wall_sum results));
+      ("experiments_passed",
+       Prelude.Json.Int (List.length results - List.length failed));
+      ("experiments_total", Prelude.Json.Int (List.length results));
+      ("experiments", results_to_json results) ]
+
 (* Experiments are independent (no toplevel mutable state anywhere in lib/);
    fan them out across the domain pool. Parallel.map keeps registry order,
    and Harness.timed uses domain-local counters, so both the outcomes and

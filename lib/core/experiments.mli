@@ -25,6 +25,26 @@ val run_timed : string -> result
 (** Like {!run}, with wall-clock and work-counter instrumentation.
     @raise Invalid_argument for an unknown id. *)
 
+val result_to_json : result -> Prelude.Json.t
+(** One flat object per experiment: {!Report.outcome_to_json}'s fields
+    merged with {!Report.timing_to_json}'s ([id], [title], [checks],
+    [checks_passed], [checks_total], [wall_s], [cells], [evals]). *)
+
+val results_to_json : result list -> Prelude.Json.t
+(** Array of {!result_to_json} objects, in registry order. *)
+
+val wall_sum : result list -> float
+(** Sum of per-experiment [wall_s]. Under [jobs > 1] experiments overlap,
+    so this is CPU-time-flavoured and exceeds true elapsed wall clock —
+    report it alongside, never instead of, elapsed time. *)
+
+val to_json : jobs:int -> elapsed_s:float -> result list -> Prelude.Json.t
+(** The full machine-readable report document ([schema "predlab/report"],
+    [version 1]): job count, true elapsed wall clock, {!wall_sum},
+    pass counts, and the per-experiment array. This is what
+    [predlab all/stats --format json] print and what [predlab compare]
+    consumes. *)
+
 val run_all : ?jobs:int -> unit -> result list
 (** Run every experiment, fanned out over [jobs] worker domains (default
     {!Prelude.Parallel.default_jobs}); results are in registry order and

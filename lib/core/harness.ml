@@ -52,6 +52,14 @@ let outcomes program inputs = List.map (Isa.Exec.run program) inputs
 let ratio_string r =
   Printf.sprintf "%s (%.3f)" (Prelude.Ratio.to_string r) (Prelude.Ratio.to_float r)
 
+(* True elapsed wall clock around a whole run. Distinct from summing the
+   per-experiment wall_s of [timed]: under jobs>1 experiments overlap, so
+   the sum is CPU-time-flavoured and exceeds this. *)
+let elapsed f =
+  let started = Prelude.Instrument.now () in
+  let v = f () in
+  (v, Prelude.Instrument.now () -. started)
+
 (* Counter deltas, not reset-then-snapshot: resetting would wipe counts a
    pool worker domain has accumulated for other tasks and leave a residue
    behind that Pool.drain would credit to the caller a second time. *)

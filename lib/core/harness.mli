@@ -37,6 +37,12 @@ val outcomes : Isa.Program.t -> Isa.Exec.input list -> Isa.Exec.outcome list
 val ratio_string : Prelude.Ratio.t -> string
 (** e.g. "3/4 (0.750)". *)
 
+val elapsed : (unit -> 'a) -> 'a * float
+(** [f ()] and the true elapsed wall-clock seconds around it. Not the same
+    quantity as summing {!timed} [wall_s] over experiments: when runs
+    overlap on worker domains the sum double-counts overlapped time, while
+    this measures once, end to end. *)
+
 val timed : (unit -> 'a) -> 'a * Report.timing
 (** Run a thunk with instrumentation: wall-clock time plus the calling
     domain's {!Prelude.Instrument} counters (reset before, snapshot after).

@@ -28,7 +28,34 @@ let fold_matrix f init m =
 let min_all m = fold_matrix Stdlib.min max_int m
 let max_all m = fold_matrix Stdlib.max 0 m
 
-let pr m = Prelude.Ratio.make (min_all m) (max_all m)
+(* Shared by the quantifiers and [of_rows]: Defs. 3-5 are minima over a
+   non-empty rectangular T_p(q, i) matrix; an empty or ragged value has no
+   meaning (iipr [||] used to return Ratio.one silently while sipr [||]
+   raised — now both reject both degeneracies with the same message
+   shape). *)
+let validate name m =
+  if Array.length m = 0 then invalid_arg (name ^ ": empty matrix");
+  let input_count = Array.length m.(0) in
+  if input_count = 0 then invalid_arg (name ^ ": empty rows");
+  Array.iter
+    (fun row ->
+       if Array.length row <> input_count then
+         invalid_arg (name ^ ": ragged matrix"))
+    m
+
+let of_rows rows =
+  validate "Quantify.of_rows" rows;
+  Array.iter
+    (Array.iter
+       (fun t ->
+          if t <= 0 then
+            invalid_arg "Quantify.of_rows: execution times must be positive"))
+    rows;
+  Array.map Array.copy rows
+
+let pr m =
+  validate "Quantify.pr" m;
+  Prelude.Ratio.make (min_all m) (max_all m)
 
 let column m j = Array.map (fun row -> row.(j)) m
 
@@ -38,14 +65,13 @@ let ratio_of_extremes values =
   Prelude.Ratio.make mn mx
 
 let sipr m =
-  match m with
-  | [||] -> invalid_arg "Quantify.sipr: empty matrix"
-  | _ ->
-    let input_count = Array.length m.(0) in
-    let per_input = List.init input_count (fun j -> ratio_of_extremes (column m j)) in
-    List.fold_left Prelude.Ratio.min Prelude.Ratio.one per_input
+  validate "Quantify.sipr" m;
+  let input_count = Array.length m.(0) in
+  let per_input = List.init input_count (fun j -> ratio_of_extremes (column m j)) in
+  List.fold_left Prelude.Ratio.min Prelude.Ratio.one per_input
 
 let iipr m =
+  validate "Quantify.iipr" m;
   let per_state = Array.to_list (Array.map ratio_of_extremes m) in
   List.fold_left Prelude.Ratio.min Prelude.Ratio.one per_state
 

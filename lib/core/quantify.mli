@@ -14,8 +14,19 @@
 
     All quotients are exact rationals. Execution times must be positive. *)
 
-type matrix
-(** Evaluated timing matrix over [Q * I] (each [T(q, i)] computed once). *)
+type matrix = int array array
+(** Evaluated timing matrix over [Q * I], indexed [state][input] (each
+    [T(q, i)] computed once). {!evaluate} and {!of_rows} are the sanctioned
+    constructors: they guarantee a non-empty rectangular matrix of positive
+    times, which every quantifier assumes (and, defensively, re-validates —
+    a hand-built empty or ragged array raises [Invalid_argument] rather
+    than yielding a silently wrong quotient). *)
+
+val of_rows : int array array -> matrix
+(** Adopt precomputed timings (copied, so later mutation of [rows] cannot
+    break the invariant).
+    @raise Invalid_argument if [rows] is empty, ragged, has empty rows, or
+    contains a non-positive execution time. *)
 
 val evaluate :
   ?jobs:int -> states:'q list -> inputs:'i list ->
@@ -28,13 +39,18 @@ val evaluate :
     execution time. *)
 
 val pr : matrix -> Prelude.Ratio.t
-(** Def. 3. *)
+(** Def. 3.
+    @raise Invalid_argument on an empty or ragged matrix. *)
 
 val sipr : matrix -> Prelude.Ratio.t
-(** Def. 4: [min_i (min_q T(q,i) / max_q T(q,i))]. *)
+(** Def. 4: [min_i (min_q T(q,i) / max_q T(q,i))].
+    @raise Invalid_argument on an empty or ragged matrix. *)
 
 val iipr : matrix -> Prelude.Ratio.t
-(** Def. 5: [min_q (min_i T(q,i) / max_i T(q,i))]. *)
+(** Def. 5: [min_q (min_i T(q,i) / max_i T(q,i))].
+    @raise Invalid_argument on an empty or ragged matrix (it used to
+    return [Ratio.one] for [[||]] while {!sipr} raised; both now
+    reject). *)
 
 val bcet : matrix -> int
 (** Exhaustive best case over [Q * I] — ground truth for Figure 1. *)

@@ -24,6 +24,26 @@ let timing_string t =
   Printf.sprintf "wall %.3fs  Q*I cells %d  kernel evals %d"
     t.wall_s t.cells t.evals
 
+let check_to_json c =
+  Prelude.Json.Obj
+    [ ("label", Prelude.Json.String c.label);
+      ("passed", Prelude.Json.Bool c.passed) ]
+
+let outcome_to_json outcome =
+  let passed = List.filter (fun c -> c.passed) outcome.checks in
+  Prelude.Json.Obj
+    [ ("id", Prelude.Json.String outcome.id);
+      ("title", Prelude.Json.String outcome.title);
+      ("checks", Prelude.Json.List (List.map check_to_json outcome.checks));
+      ("checks_passed", Prelude.Json.Int (List.length passed));
+      ("checks_total", Prelude.Json.Int (List.length outcome.checks)) ]
+
+let timing_to_json t =
+  Prelude.Json.Obj
+    [ ("wall_s", Prelude.Json.Float t.wall_s);
+      ("cells", Prelude.Json.Int t.cells);
+      ("evals", Prelude.Json.Int t.evals) ]
+
 let render outcome =
   let buf = Buffer.create 512 in
   Buffer.add_string buf

@@ -28,3 +28,15 @@ val render : outcome -> string
 
 val timing_string : timing -> string
 (** e.g. ["wall 0.123s  Q*I cells 540  kernel evals 540"]. *)
+
+val check_to_json : check -> Prelude.Json.t
+(** [{"label": ..., "passed": ...}]. *)
+
+val outcome_to_json : outcome -> Prelude.Json.t
+(** [{"id", "title", "checks", "checks_passed", "checks_total"}] — the
+    machine-readable counterpart of {!render} (the rendered [body] is text
+    evidence and deliberately omitted; checks are the machine-checked
+    part). *)
+
+val timing_to_json : timing -> Prelude.Json.t
+(** [{"wall_s", "cells", "evals"}]. *)

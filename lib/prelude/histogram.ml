@@ -23,10 +23,19 @@ let of_samples ~bins samples =
     List.iter add samples;
     { lo; hi; width; counts; total = List.length samples }
 
+(* The nominal upper edge lo + (i+1)*width - 1 overshoots the support when
+   bins doesn't divide the span (e.g. 10 samples over 0..9 in 3 bins of
+   width 4 would display "8..11" for a histogram whose largest sample is
+   9) — clamp to the observed maximum so rendered Figure-1 bucket ranges
+   never overstate it. A trailing bin that lies entirely above the support
+   keeps count 0 and collapses to the empty range (hi, hi). *)
 let bins t =
   Array.to_list
     (Array.mapi
-       (fun i c -> (t.lo + (i * t.width), t.lo + ((i + 1) * t.width) - 1, c))
+       (fun i c ->
+          let lo = Stdlib.min t.hi (t.lo + (i * t.width)) in
+          let hi = Stdlib.min t.hi (t.lo + ((i + 1) * t.width) - 1) in
+          (lo, hi, c))
        t.counts)
 
 let total t = t.total

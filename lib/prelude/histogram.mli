@@ -9,7 +9,12 @@ val of_samples : bins:int -> int list -> t
     @raise Invalid_argument if [samples] is empty or [bins <= 0]. *)
 
 val bins : t -> (int * int * int) list
-(** [(lo, hi, count)] per bin; [lo] inclusive, [hi] inclusive. *)
+(** [(lo, hi, count)] per bin; [lo] inclusive, [hi] inclusive. Edges are
+    clamped to [max_sample]: when [bins] doesn't divide the sample span the
+    last occupied bin's displayed range ends at [max_sample] rather than at
+    the nominal [lo + width - 1] (which would overstate the support), and
+    any trailing all-empty bins collapse to the degenerate range
+    [(max_sample, max_sample, 0)]. *)
 
 val total : t -> int
 val min_sample : t -> int

@@ -50,6 +50,48 @@ let test_evaluate_validation () =
   Alcotest.(check bool) "non-positive time" true
     (invalid (fun () -> matrix_of_fun [ 0 ] [ 0 ] (fun _ _ -> 0)))
 
+(* Regression: Quantify.iipr [||] used to silently return Ratio.one (the
+   fold's neutral element) while sipr [||] raised on reading m.(0), and
+   both assumed rectangular rows on ragged input. All quantifiers now
+   reject empty and ragged matrices alike, and of_rows (the constructor
+   for precomputed timings) enforces the invariant up front. *)
+let test_quantifiers_reject_degenerate_matrices () =
+  let raises f =
+    try ignore (f ()); false with Invalid_argument _ -> true
+  in
+  let quantifiers =
+    [ ("pr", fun m -> ignore (Predictability.Quantify.pr m));
+      ("sipr", fun m -> ignore (Predictability.Quantify.sipr m));
+      ("iipr", fun m -> ignore (Predictability.Quantify.iipr m)) ]
+  in
+  let ragged = [| [| 1; 2 |]; [| 3 |] |] in
+  List.iter
+    (fun (name, q) ->
+       Alcotest.(check bool) (name ^ " rejects [||]") true
+         (raises (fun () -> q [||]));
+       Alcotest.(check bool) (name ^ " rejects [|[||]|]") true
+         (raises (fun () -> q [| [||] |]));
+       Alcotest.(check bool) (name ^ " rejects ragged rows") true
+         (raises (fun () -> q ragged)))
+    quantifiers
+
+let test_of_rows () =
+  let rows = [| [| 10; 25 |] |] in
+  let m = Predictability.Quantify.of_rows rows in
+  Alcotest.check ratio "adopted timings quantify" (Prelude.Ratio.make 2 5)
+    (Predictability.Quantify.pr m);
+  (* Defensive copy: mutating the source after adoption changes nothing. *)
+  rows.(0).(0) <- 1000;
+  Alcotest.check ratio "copied, not aliased" (Prelude.Ratio.make 2 5)
+    (Predictability.Quantify.pr m);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "rejects empty" true
+    (raises (fun () -> Predictability.Quantify.of_rows [||]));
+  Alcotest.(check bool) "rejects ragged" true
+    (raises (fun () -> Predictability.Quantify.of_rows [| [| 1 |]; [||] |]));
+  Alcotest.(check bool) "rejects non-positive times" true
+    (raises (fun () -> Predictability.Quantify.of_rows [| [| 1; 0 |] |]))
+
 let time_fun_gen =
   (* Random positive timing matrices as assoc data. *)
   QCheck.(list_of_size (Gen.return 12) (int_range 1 100))
@@ -449,6 +491,9 @@ let () =
            test_sipr_vs_iipr_separation;
          Alcotest.test_case "bcet/wcet/times" `Quick test_bcet_wcet_times;
          Alcotest.test_case "validation" `Quick test_evaluate_validation;
+         Alcotest.test_case "degenerate matrices rejected" `Quick
+           test_quantifiers_reject_degenerate_matrices;
+         Alcotest.test_case "of_rows" `Quick test_of_rows;
          QCheck_alcotest.to_alcotest prop_pr_in_unit_interval;
          QCheck_alcotest.to_alcotest prop_pr_lower_bounds_si_ii;
          QCheck_alcotest.to_alcotest prop_pr_antimonotone_in_uncertainty;

@@ -295,6 +295,141 @@ let prop_histogram_conserves_samples =
        Prelude.Listx.sum (List.map (fun (_, _, c) -> c) (Prelude.Histogram.bins h))
        = List.length samples)
 
+(* Regression: the displayed upper edge of the last bin used to be the
+   nominal lo + (i+1)*width - 1, which exceeds max_sample whenever bins
+   doesn't divide the span — Figure-1 bucket ranges overstated the support
+   (0..9 in 3 bins rendered a "8..11" bucket). Edges are now clamped. *)
+let test_histogram_edge_clamped () =
+  let h = Prelude.Histogram.of_samples ~bins:3 (List.init 10 (fun i -> i)) in
+  Alcotest.(check (list (triple int int int))) "clamped edges"
+    [ (0, 3, 4); (4, 7, 4); (8, 9, 2) ]
+    (Prelude.Histogram.bins h);
+  let rendered = Prelude.Histogram.render h in
+  Alcotest.(check bool) "render never shows an edge beyond max_sample" false
+    (string_contains rendered "11");
+  (* Trailing bins entirely above the support collapse rather than invent
+     out-of-range buckets: span 1..3 in 3 bins of width 1 is exact, but
+     1..2 in 3 bins leaves an empty third bin. *)
+  let h' = Prelude.Histogram.of_samples ~bins:3 [ 1; 2 ] in
+  Alcotest.(check (list (triple int int int))) "degenerate trailing bin"
+    [ (1, 1, 1); (2, 2, 1); (2, 2, 0) ]
+    (Prelude.Histogram.bins h')
+
+let prop_histogram_edges_bounded =
+  QCheck.Test.make ~name:"bin edges stay within [min_sample, max_sample]"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 50) (int_range (-100) 100)))
+    (fun (bins, samples) ->
+       QCheck.assume (samples <> []);
+       let h = Prelude.Histogram.of_samples ~bins samples in
+       List.for_all
+         (fun (lo, hi, _) ->
+            lo >= Prelude.Histogram.min_sample h
+            && hi <= Prelude.Histogram.max_sample h)
+         (Prelude.Histogram.bins h))
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_escaping () =
+  let module J = Prelude.Json in
+  Alcotest.(check string) "quotes and backslashes"
+    {|"a\"b\\c"|} (J.to_string (J.String {|a"b\c|}));
+  Alcotest.(check string) "named control escapes"
+    {|"a\nb\tc\rd\be\ff"|}
+    (J.to_string (J.String "a\nb\tc\rd\be\012f"));
+  Alcotest.(check string) "other control chars as \\u00xx"
+    {|"\u0000\u0001\u001f"|}
+    (J.to_string (J.String "\000\001\031"));
+  (* UTF-8 payloads pass through untouched. *)
+  Alcotest.(check string) "utf-8 preserved" "\"\xc3\xa9\""
+    (J.to_string (J.String "\xc3\xa9"))
+
+let test_json_escaping_round_trip () =
+  let module J = Prelude.Json in
+  List.iter
+    (fun s ->
+       Alcotest.(check (option string)) ("round trip " ^ String.escaped s)
+         (Some s)
+         (J.string_value (J.parse_exn (J.to_string (J.String s)))))
+    [ ""; "plain"; {|a"b\c|}; "tab\there"; "nl\nthere"; "\000\031";
+      "slash / unescaped"; "\xe2\x82\xac" (* euro sign, 3-byte UTF-8 *) ]
+
+let test_json_float_formatting () =
+  let module J = Prelude.Json in
+  (* Stability: printing the parsed value reprints the same text. *)
+  List.iter
+    (fun f ->
+       let s = J.float_string f in
+       Alcotest.(check string) ("stable " ^ s) s
+         (J.float_string (float_of_string s));
+       Alcotest.(check bool) ("re-parses as float: " ^ s) true
+         (match J.parse_exn s with J.Float _ -> true | _ -> false))
+    [ 0.; 1.; -1.; 0.125; 0.1; 3.14159; 1e-9; 6.02e23; 123456.789;
+      0.0019600391387939453; Float.max_float; Float.min_float ];
+  (* Exact value round trip through parse. *)
+  List.iter
+    (fun f ->
+       Alcotest.(check (option (float 0.))) "exact through parse" (Some f)
+         (J.float_value (J.parse_exn (J.float_string f))))
+    [ 0.125; 0.1; 1e300; -2.5e-7 ];
+  (* Non-finite floats have no JSON representation: emitted as null. *)
+  Alcotest.(check string) "nan -> null" "null" (J.float_string Float.nan);
+  Alcotest.(check string) "inf -> null" "null"
+    (J.float_string Float.infinity);
+  Alcotest.(check string) "-inf -> null" "null"
+    (J.float_string Float.neg_infinity)
+
+let test_json_parser () =
+  let module J = Prelude.Json in
+  Alcotest.(check bool) "document with every construct" true
+    (J.parse_exn
+       {| {"null": null, "t": true, "f": false, "int": -42,
+           "float": 2.5e-1, "arr": [1, 2, 3], "nested": {"k": "v"},
+           "unicode": "é😀", "empty": [], "eobj": {}} |}
+     = J.Obj
+         [ ("null", J.Null); ("t", J.Bool true); ("f", J.Bool false);
+           ("int", J.Int (-42)); ("float", J.Float 0.25);
+           ("arr", J.List [ J.Int 1; J.Int 2; J.Int 3 ]);
+           ("nested", J.Obj [ ("k", J.String "v") ]);
+           ("unicode", J.String "\xc3\xa9\xf0\x9f\x98\x80");
+           ("empty", J.List []); ("eobj", J.Obj []) ]);
+  List.iter
+    (fun bad ->
+       match J.parse bad with
+       | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+       | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated";
+      "\"bad \\x escape\""; "\"\\ud800 unpaired\""; "01x"; "nan" ]
+
+let prop_json_round_trip =
+  let module J = Prelude.Json in
+  let rec gen_json depth =
+    let open QCheck.Gen in
+    let scalar =
+      oneof
+        [ return J.Null;
+          map (fun b -> J.Bool b) bool;
+          map (fun n -> J.Int n) (int_range (-1000000) 1000000);
+          map (fun f -> J.Float f) (float_range (-1e6) 1e6);
+          map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 12)) ]
+    in
+    if depth = 0 then scalar
+    else
+      oneof
+        [ scalar;
+          map (fun items -> J.List items)
+            (list_size (int_range 0 4) (gen_json (depth - 1)));
+          map (fun fields -> J.Obj fields)
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 0 8))
+                  (gen_json (depth - 1)))) ]
+  in
+  QCheck.Test.make ~name:"json parse (to_string j) = j" ~count:200
+    (QCheck.make (gen_json 3))
+    (fun j ->
+       J.parse_exn (J.to_string j) = j
+       && J.parse_exn (J.to_string_pretty j) = j)
+
 (* --- Table / Listx ---------------------------------------------------- *)
 
 let test_table_render () =
@@ -367,7 +502,18 @@ let () =
        [ Alcotest.test_case "binning" `Quick test_histogram_bins;
          Alcotest.test_case "single value" `Quick test_histogram_single_value;
          Alcotest.test_case "marker rendering" `Quick test_histogram_render_markers;
-         QCheck_alcotest.to_alcotest prop_histogram_conserves_samples ]);
+         Alcotest.test_case "edges clamped to max_sample" `Quick
+           test_histogram_edge_clamped;
+         QCheck_alcotest.to_alcotest prop_histogram_conserves_samples;
+         QCheck_alcotest.to_alcotest prop_histogram_edges_bounded ]);
+      ("json",
+       [ Alcotest.test_case "string escaping" `Quick test_json_escaping;
+         Alcotest.test_case "escaping round trip" `Quick
+           test_json_escaping_round_trip;
+         Alcotest.test_case "float formatting stability" `Quick
+           test_json_float_formatting;
+         Alcotest.test_case "parser" `Quick test_json_parser;
+         QCheck_alcotest.to_alcotest prop_json_round_trip ]);
       ("table+listx",
        [ Alcotest.test_case "table render" `Quick test_table_render;
          Alcotest.test_case "range" `Quick test_listx_range;
