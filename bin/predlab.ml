@@ -182,6 +182,56 @@ let show_program name =
       (Isa.Program.length program)
       (List.length w.Isa.Workload.inputs)
 
+(* `predlab lint`: run the dataflow linter over workloads (default: the
+   whole registry) or one of the pinned fixtures. Exit 1 iff any
+   error-severity finding is reported — the ci.sh gate. *)
+let lint format fixture names =
+  let targets =
+    match fixture with
+    | Some `Clean ->
+      let program, shapes = Dataflow.Fixtures.clean () in
+      [ ("fixture:clean",
+         Dataflow.Lint.check_program program @ Dataflow.Lint.check_shapes shapes) ]
+    | Some `Dirty ->
+      [ ("fixture:dirty", Dataflow.Lint.check_program (Dataflow.Fixtures.dirty ())) ]
+    | None ->
+      let selected =
+        match names with
+        | [] -> Isa.Workload.registry
+        | names ->
+          List.map
+            (fun name ->
+               match List.assoc_opt name Isa.Workload.registry with
+               | Some make -> (name, make)
+               | None ->
+                 Printf.eprintf
+                   "unknown workload %S; try `predlab workloads`\n" name;
+                 exit 2)
+            names
+      in
+      List.map
+        (fun (name, make) -> (name, Dataflow.Lint.check_workload (make ())))
+        selected
+  in
+  let total_errors =
+    List.fold_left (fun acc (_, fs) -> acc + Dataflow.Lint.errors fs) 0 targets
+  in
+  (match format with
+   | Json ->
+     print_endline
+       (Prelude.Json.to_string_pretty (Dataflow.Lint.report_to_json targets))
+   | Text ->
+     List.iter
+       (fun (name, findings) ->
+          Printf.printf "%s: %d error(s), %d warning(s)\n" name
+            (Dataflow.Lint.errors findings)
+            (Dataflow.Lint.warnings findings);
+          print_string (Dataflow.Lint.render findings))
+       targets;
+     Printf.printf "%d target(s), %d error finding(s)\n" (List.length targets)
+       total_errors);
+  if total_errors > 0 then exit 1
+
 let survey () =
   print_endline "Table 1: constructive approaches to predictability (part I)";
   print_string (Predictability.Survey.render Predictability.Survey.table1);
@@ -284,6 +334,28 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"List the registered workload programs")
     Term.(const list_workloads $ const ())
 
+let lint_cmd =
+  let fixture_arg =
+    Arg.(value
+         & opt (some (enum [ ("clean", `Clean); ("dirty", `Dirty) ])) None
+         & info [ "fixture" ] ~docv:"NAME"
+             ~doc:"Lint a pinned fixture instead of workloads: $(b,clean) \
+                   (expected finding-free) or $(b,dirty) (expected to trip \
+                   every error rule).")
+  in
+  let names_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workloads to lint (default: every registered workload).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the dataflow linter (CFG, interval and liveness analyses \
+             plus the loop-bound audit) over workload programs. Exits \
+             nonzero iff any error-severity finding is reported; warnings \
+             and infos are printed but do not gate.")
+    Term.(const lint $ format_arg $ fixture_arg $ names_arg)
+
 let program_cmd =
   let workload_arg =
     Arg.(required & pos 0 (some string) None
@@ -299,6 +371,6 @@ let main =
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
     [ list_cmd; run_cmd; all_cmd; stats_cmd; compare_cmd; survey_cmd;
-      workloads_cmd; program_cmd ]
+      workloads_cmd; program_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

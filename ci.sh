@@ -12,5 +12,14 @@ set -eux
 dune build
 dune runtest
 dune exec bin/predlab.exe -- run EQ4 --jobs 2
+# Lint gate: every shipped workload must be free of error-severity findings
+# (the JSON doc is kept as a build artifact), and the linter itself must
+# still catch the pinned dirty fixture — a linter that stops finding
+# anything would otherwise pass CI silently.
+dune exec bin/predlab.exe -- lint --format json > _build/lint.json
+if dune exec bin/predlab.exe -- lint --fixture dirty > /dev/null 2>&1; then
+  echo "lint failed to flag the dirty fixture" >&2
+  exit 1
+fi
 dune exec bin/predlab.exe -- stats --jobs 2 --format json > _build/current.json
 dune exec bin/predlab.exe -- compare BENCH_0.json _build/current.json --tolerance 400

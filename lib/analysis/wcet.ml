@@ -221,7 +221,7 @@ let bracket ?jobs ~upper ~lower ~shapes ~entry () =
 
 let classified_fraction result =
   match result.observations with
-  | [] -> 1.0
+  | [] -> None
   | obs ->
     let classified =
       List.length
@@ -229,4 +229,4 @@ let classified_fraction result =
            (fun o -> o.classification <> Must_may.Unclassified)
            obs)
     in
-    float_of_int classified /. float_of_int (List.length obs)
+    Some (float_of_int classified /. float_of_int (List.length obs))

@@ -62,5 +62,8 @@ val bracket :
     concurrently on the {!Prelude.Parallel} pool (they are independent).
     Identical to two sequential {!bound} calls for any job count. *)
 
-val classified_fraction : result -> float
-(** Fraction of fetch observations classified AH or AM. *)
+val classified_fraction : result -> float option
+(** Fraction of fetch observations classified AH or AM, or [None] when
+    the walk produced no fetch observations at all (e.g. a [Flat_fetch]
+    configuration) — previously conflated with "everything classified"
+    by returning [1.0]. *)

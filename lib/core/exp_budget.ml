@@ -69,7 +69,9 @@ let run () =
        Prelude.Table.add_row table
          [ (match budget with Some k -> string_of_int k | None -> "unbounded");
            string_of_int ub;
-           Printf.sprintf "%.0f%%" (100. *. fraction);
+           (match fraction with
+            | Some f -> Printf.sprintf "%.0f%%" (100. *. f)
+            | None -> "n/a");
            Printf.sprintf "%.2f" (float_of_int ub /. float_of_int wcet) ])
     rows;
   let bounds = List.map (fun (_, ub, _) -> ub) rows in

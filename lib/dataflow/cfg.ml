@@ -1,0 +1,163 @@
+type block = {
+  id : int;
+  start_pc : int;
+  len : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  program : Isa.Program.t;
+  blocks : block array;
+  entry : int;
+  block_index : int array;  (* pc -> block id *)
+}
+
+let build program =
+  let n = Isa.Program.length program in
+  let leader = Array.make n false in
+  leader.(Isa.Program.entry program) <- true;
+  List.iter
+    (fun (_, (start, _)) -> leader.(start) <- true)
+    (Isa.Program.functions program);
+  let mark pc = if pc >= 0 && pc < n then leader.(pc) <- true in
+  for pc = 0 to n - 1 do
+    match Isa.Program.instr program pc with
+    | Isa.Instr.Br (_, _, _, target) ->
+      mark (Isa.Program.resolve program target);
+      mark (pc + 1)
+    | Isa.Instr.Jmp target ->
+      mark (Isa.Program.resolve program target);
+      mark (pc + 1)
+    | Isa.Instr.Call name ->
+      mark (Isa.Program.resolve program name);
+      mark (pc + 1)
+    | Isa.Instr.Ret | Isa.Instr.Halt -> mark (pc + 1)
+    | Isa.Instr.Nop | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Li _
+    | Isa.Instr.Mul _ | Isa.Instr.Div _ | Isa.Instr.Ld _ | Isa.Instr.St _
+    | Isa.Instr.Sel _ -> ()
+  done;
+  (* Block extents from the leader set; every pc lands in exactly one
+     block, reachable or not, so blocks partition the program. *)
+  let starts =
+    List.filter (fun pc -> leader.(pc)) (List.init n (fun pc -> pc))
+  in
+  let extents =
+    let rec widths = function
+      | [] -> []
+      | [ start ] -> [ (start, n - start) ]
+      | start :: (next :: _ as rest) -> (start, next - start) :: widths rest
+    in
+    widths starts
+  in
+  let block_index = Array.make n (-1) in
+  List.iteri
+    (fun id (start, len) ->
+       for pc = start to start + len - 1 do block_index.(pc) <- id done)
+    extents;
+  (* Return sites, per function: the instruction after every call. *)
+  let return_sites name =
+    let sites = ref [] in
+    for pc = n - 1 downto 0 do
+      match Isa.Program.instr program pc with
+      | Isa.Instr.Call callee when callee = name && pc + 1 < n ->
+        sites := block_index.(pc + 1) :: !sites
+      | _ -> ()
+    done;
+    !sites
+  in
+  let succs_of (start, len) =
+    let last = start + len - 1 in
+    let fallthrough () = if last + 1 < n then [ block_index.(last + 1) ] else [] in
+    match Isa.Program.instr program last with
+    | Isa.Instr.Br (_, _, _, target) ->
+      let taken = block_index.(Isa.Program.resolve program target) in
+      taken :: List.filter (fun s -> s <> taken) (fallthrough ())
+    | Isa.Instr.Jmp target ->
+      [ block_index.(Isa.Program.resolve program target) ]
+    | Isa.Instr.Call name -> [ block_index.(Isa.Program.resolve program name) ]
+    | Isa.Instr.Ret ->
+      (match Isa.Program.function_of_pc program last with
+       | name -> return_sites name
+       | exception Not_found -> [])
+    | Isa.Instr.Halt -> []
+    | Isa.Instr.Nop | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Li _
+    | Isa.Instr.Mul _ | Isa.Instr.Div _ | Isa.Instr.Ld _ | Isa.Instr.St _
+    | Isa.Instr.Sel _ -> fallthrough ()
+  in
+  let blocks =
+    Array.of_list
+      (List.mapi
+         (fun id (start, len) ->
+            { id; start_pc = start; len; succs = succs_of (start, len);
+              preds = [] })
+         extents)
+  in
+  Array.iter
+    (fun b ->
+       List.iter
+         (fun s ->
+            blocks.(s) <- { (blocks.(s)) with preds = b.id :: blocks.(s).preds })
+         b.succs)
+    blocks;
+  Array.iteri
+    (fun i b -> blocks.(i) <- { b with preds = List.rev b.preds })
+    blocks;
+  { program; blocks; entry = block_index.(Isa.Program.entry program);
+    block_index }
+
+let program t = t.program
+let blocks t = t.blocks
+let entry t = t.entry
+
+let block_of_pc t pc =
+  if pc < 0 || pc >= Array.length t.block_index then
+    invalid_arg (Printf.sprintf "Cfg.block_of_pc: pc %d out of range" pc)
+  else t.block_index.(pc)
+
+let instrs t b =
+  List.init b.len (fun k ->
+      let pc = b.start_pc + k in
+      (pc, Isa.Program.instr t.program pc))
+
+let terminator t b =
+  let pc = b.start_pc + b.len - 1 in
+  (pc, Isa.Program.instr t.program pc)
+
+let reachable t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit t.blocks.(id).succs
+    end
+  in
+  visit t.entry;
+  seen
+
+let reverse_postorder t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let order = ref [] in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit t.blocks.(id).succs;
+      order := id :: !order
+    end
+  in
+  visit t.entry;
+  !order
+
+let pp ppf t =
+  let reach = reachable t in
+  Array.iter
+    (fun b ->
+       Format.fprintf ppf "block %d [%d..%d]%s -> %s@."
+         b.id b.start_pc (b.start_pc + b.len - 1)
+         (if reach.(b.id) then "" else " (unreachable)")
+         (String.concat "," (List.map string_of_int b.succs));
+       List.iter
+         (fun (pc, ins) ->
+            Format.fprintf ppf "  %4d  %a@." pc Isa.Instr.pp ins)
+         (instrs t b))
+    t.blocks

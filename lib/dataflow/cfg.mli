@@ -1,0 +1,60 @@
+(** Basic-block control-flow graphs built directly from flat
+    {!Isa.Program} code — label/branch/call/return resolution, independent
+    of the trusted {!Isa.Ast} shapes.
+
+    This is the second, untrusted view of a program: where
+    [Analysis.Wcet] walks the compiler-produced shape tree (and believes
+    its declared loop bounds), the CFG is reconstructed from nothing but
+    the instruction array, so analyses over it ({!Interval}, {!Liveness},
+    {!Lint}) can cross-check what the shapes claim.
+
+    The graph is whole-program and context-insensitive: a [Call] block's
+    successor is the callee's entry block, and a [Ret] block's successors
+    are the return sites (the instruction after every call to the function
+    containing the [Ret]). That is an overapproximation of the concrete
+    call/return pairing — sound for forward analyses.
+
+    Every instruction of the program belongs to exactly one block
+    (unreachable code included); reachability is a separate query. *)
+
+type block = {
+  id : int;
+  start_pc : int;          (** first instruction position *)
+  len : int;               (** number of instructions, [>= 1] *)
+  succs : int list;        (** successor block ids *)
+  preds : int list;        (** predecessor block ids *)
+}
+
+type t
+
+val build : Isa.Program.t -> t
+(** Partition the program into maximal basic blocks. Leaders: the entry,
+    every function start, every branch/jump/call target, and every
+    instruction following a control transfer. *)
+
+val program : t -> Isa.Program.t
+val blocks : t -> block array
+(** Indexed by [block.id], in ascending [start_pc] order. *)
+
+val entry : t -> int
+(** Id of the block containing the program entry point. *)
+
+val block_of_pc : t -> int -> int
+(** Id of the unique block containing [pc].
+    @raise Invalid_argument if [pc] is out of range. *)
+
+val instrs : t -> block -> (int * Isa.Instr.t) list
+(** [(pc, instruction)] pairs of the block, in layout order. *)
+
+val terminator : t -> block -> int * Isa.Instr.t
+(** The block's last instruction (a control transfer, or an ordinary
+    instruction when the block falls through into the next leader). *)
+
+val reachable : t -> bool array
+(** Per-block: reachable from the entry block along [succs] edges. *)
+
+val reverse_postorder : t -> int list
+(** Reachable block ids in reverse postorder — the canonical iteration
+    order for forward dataflow (see {!Solver}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+let clean () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3 in
+  Isa.Ast.compile
+    [ { Isa.Ast.name = "main";
+        body =
+          Isa.Ast.Seq
+            [ Isa.Ast.Block [ Li (r1, 5); Li (r2, 0) ];
+              Isa.Ast.Loop
+                { count = 3; counter = r3;
+                  body = Isa.Ast.Block [ Alu (Add, r2, r2, r1) ] } ] } ]
+
+(* Hand-linked (not compiled from an Ast) so the broken patterns survive:
+   the structured compiler could not produce most of them. *)
+let dirty () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3
+  and r4 = Isa.Reg.r4 and r5 = Isa.Reg.r5 and r6 = Isa.Reg.r6
+  and r7 = Isa.Reg.r7 and r8 = Isa.Reg.r8 and r9 = Isa.Reg.r9 in
+  Isa.Program.link
+    [ { Isa.Program.name = "main";
+        body =
+          [ Isa.Program.Ins (Li (r1, 0));
+            Isa.Program.Ins (Li (r3, 7));
+            Isa.Program.Ins (Div (r2, r3, r1));       (* divisor always 0 *)
+            Isa.Program.Ins (Li (r4, -7));
+            Isa.Program.Ins (Ld (r5, r4, 2));         (* address always -5 *)
+            Isa.Program.Ins (Li (r6, 1));
+            Isa.Program.Ins (Alui (Shl, r6, r6, 35)); (* masked to shl 3 *)
+            Isa.Program.Ins (Alu (Add, r7, r9, r9));  (* r9 never written *)
+            Isa.Program.Ins (Jmp "done");
+            Isa.Program.Ins (Alui (Add, r8, r8, 1));  (* unreachable *)
+            Isa.Program.Label "done";
+            Isa.Program.Ins Halt ] } ]

@@ -1,0 +1,13 @@
+(** Lint fixtures: one intentionally-clean program and one known-dirty
+    program, pinned so the linter's behaviour on both ends is regression
+    tested (the dirty one is exercised only by tests and by
+    [predlab lint --fixture dirty], never by the default lint run). *)
+
+val clean : unit -> Isa.Program.t * (string * Isa.Ast.shape) list
+(** A small compiled counted-loop program with zero lint findings of any
+    severity. *)
+
+val dirty : unit -> Isa.Program.t
+(** A hand-linked program tripping every error-severity rule (constant
+    division by zero, provably negative address, out-of-range constant
+    shift) plus unreachable code and an uninitialised read. *)

@@ -1,0 +1,244 @@
+type severity = Info | Warning | Error
+
+type finding = {
+  severity : severity;
+  rule : string;
+  pc : int option;
+  message : string;
+}
+
+let severity_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort_findings findings =
+  List.sort
+    (fun a b ->
+       Stdlib.compare
+         (severity_rank a.severity,
+          (match a.pc with None -> -1 | Some p -> p), a.rule, a.message)
+         (severity_rank b.severity,
+          (match b.pc with None -> -1 | Some p -> p), b.rule, b.message))
+    findings
+
+let finding severity rule ?pc fmt =
+  Printf.ksprintf (fun message -> { severity; rule; pc; message }) fmt
+
+let reg_name r = Format.asprintf "%a" Isa.Reg.pp r
+
+(* --- CFG / dataflow rules ---------------------------------------------- *)
+
+let unreachable_findings cfg =
+  let reach = Cfg.reachable cfg in
+  List.filter_map
+    (fun b ->
+       if reach.(b.Cfg.id) then None
+       else
+         Some
+           (finding Warning "unreachable-code" ~pc:b.Cfg.start_pc
+              "instructions %d..%d are unreachable from the entry point"
+              b.Cfg.start_pc (b.Cfg.start_pc + b.Cfg.len - 1)))
+    (Array.to_list (Cfg.blocks cfg))
+
+let instr_findings result =
+  let of_instr (pc, ins, env) =
+    match ins with
+    | Isa.Instr.Div (_, _, rb) ->
+      let d = Interval.reg env rb in
+      if Interval.is_const d && Interval.mem 0 d then
+        [ finding Error "div-by-zero" ~pc
+            "divisor %s is always zero (execution gets stuck here)"
+            (reg_name rb) ]
+      else if Interval.mem 0 d then
+        [ finding Warning "div-by-zero" ~pc
+            "divisor %s may be zero (interval %s)" (reg_name rb)
+            (Interval.to_string d) ]
+      else []
+    | Isa.Instr.Ld (_, ra, off) | Isa.Instr.St (_, ra, off) ->
+      let addr = Interval.add (Interval.reg env ra) (Interval.const off) in
+      if addr.Interval.hi < 0 then
+        [ finding Error "negative-address" ~pc
+            "effective address %s + %d is always negative (interval %s)"
+            (reg_name ra) off (Interval.to_string addr) ]
+      else []
+    | Isa.Instr.Alui ((Isa.Instr.Shl | Isa.Instr.Shr), _, _, imm)
+      when imm < 0 || imm >= 32 ->
+      [ finding Error "shift-range" ~pc
+          "constant shift amount %d is outside [0, 31]; the machine masks \
+           it to %d (land 31)"
+          imm (imm land 31) ]
+    | Isa.Instr.Alu ((Isa.Instr.Shl | Isa.Instr.Shr), _, _, rb)
+      when (Interval.reg env rb).Interval.lo >= 32 ->
+      [ finding Warning "shift-range" ~pc
+          "shift amount %s is provably >= 32 (interval %s) and will be \
+           masked (land 31)"
+          (reg_name rb) (Interval.to_string (Interval.reg env rb)) ]
+    | _ -> []
+  in
+  List.concat_map of_instr (Interval.instr_envs result)
+
+let dead_branch_findings result =
+  List.map
+    (fun (pc, arm) ->
+       match arm with
+       | `Taken ->
+         finding Warning "dead-branch" ~pc
+           "branch is never taken (taken arm is statically infeasible)"
+       | `Fallthrough ->
+         finding Warning "dead-branch" ~pc
+           "branch is always taken (fall-through arm is statically \
+            infeasible)")
+    (Interval.dead_edges result)
+
+let uninitialized_findings cfg ~inputs =
+  List.map
+    (fun (pc, r) ->
+       finding Warning "uninitialized-read" ~pc
+         "%s is read but never written on some path from the entry (it \
+          reads the architectural zero)"
+         (reg_name r))
+    (Liveness.maybe_uninitialized cfg ~inputs)
+
+let dead_store_findings cfg =
+  List.map
+    (fun (pc, r) ->
+       finding Info "dead-store" ~pc
+         "value written to %s is overwritten before any read" (reg_name r))
+    (Liveness.dead_stores cfg)
+
+let check_program ?(inputs = []) program =
+  let result = Interval.analyze program in
+  let cfg = Interval.cfg result in
+  (* The conventional zero register is read-without-write by design (the
+     compiler's loop latches compare against it; Exec zeroes it). *)
+  let inputs = Isa.Ast.zero :: inputs in
+  sort_findings
+    (unreachable_findings cfg
+     @ instr_findings result
+     @ dead_branch_findings result
+     @ uninitialized_findings cfg ~inputs
+     @ dead_store_findings cfg)
+
+(* --- Loop-bound audit over compiled shapes ----------------------------- *)
+
+let shape_defs shape =
+  List.concat_map (fun (_, ins) -> Isa.Instr.defs ins) (Isa.Ast.shape_instrs shape)
+
+let rec audit_shape acc shape =
+  match shape with
+  | Isa.Ast.SBlock _ | Isa.Ast.SCall _ -> acc
+  | Isa.Ast.SSeq shapes -> List.fold_left audit_shape acc shapes
+  | Isa.Ast.SIf { then_; else_; _ } -> audit_shape (audit_shape acc then_) else_
+  | Isa.Ast.SLoop { count; init; body; latch } ->
+    let acc = audit_shape acc body in
+    let f =
+      match init, latch with
+      | [ (pc, Isa.Instr.Li (c0, k)) ],
+        [ (_, Isa.Instr.Alui (Isa.Instr.Sub, c1, c2, 1));
+          (_, Isa.Instr.Br (Isa.Instr.Ne, c3, z, _)) ]
+        when Isa.Reg.equal c0 c1 && Isa.Reg.equal c0 c2 && Isa.Reg.equal c0 c3 ->
+        if k <> count then
+          Some
+            (finding Error "loop-bound" ~pc
+               "declared count %d but the counter %s is initialised to %d"
+               count (reg_name c0) k)
+        else if List.exists (Isa.Reg.equal c0) (shape_defs body) then
+          Some
+            (finding Error "loop-bound" ~pc
+               "loop body writes the counter %s; the declared count %d is \
+                not trustworthy"
+               (reg_name c0) count)
+        else if List.exists (Isa.Reg.equal z) (shape_defs body) then
+          Some
+            (finding Error "loop-bound" ~pc
+               "loop body writes the zero register %s used by the latch \
+                comparison"
+               (reg_name z))
+        else None
+      | _ ->
+        let pc = match init with (pc, _) :: _ -> Some pc | [] -> None in
+        Some
+          { severity = Error; rule = "loop-bound"; pc;
+            message =
+              Printf.sprintf
+                "counted loop (declared count %d) does not lower to the \
+                 canonical init/latch pattern"
+                count }
+    in
+    (match f with Some f -> f :: acc | None -> acc)
+  | Isa.Ast.SWhile { bound; guard = (pc, _); body; _ } ->
+    let acc = audit_shape acc body in
+    let f =
+      if bound < 1 then
+        finding Error "while-bound" ~pc
+          "declared while bound %d admits no iterations but the loop is \
+           data-dependent"
+          bound
+      else
+        finding Info "while-bound" ~pc
+          "while bound %d is analyst-provided and not statically validated"
+          bound
+    in
+    f :: acc
+
+let check_shapes shapes =
+  sort_findings
+    (List.fold_left (fun acc (_, shape) -> audit_shape acc shape) [] shapes)
+
+let input_regs (w : Isa.Workload.t) =
+  Prelude.Listx.uniq Stdlib.compare
+    (List.concat_map
+       (fun (i : Isa.Exec.input) -> List.map fst i.Isa.Exec.regs)
+       w.Isa.Workload.inputs)
+
+let check_workload w =
+  let program, shapes = Isa.Workload.program w in
+  sort_findings (check_program ~inputs:(input_regs w) program @ check_shapes shapes)
+
+(* --- Rendering --------------------------------------------------------- *)
+
+let errors findings =
+  List.length (List.filter (fun f -> f.severity = Error) findings)
+
+let warnings findings =
+  List.length (List.filter (fun f -> f.severity = Warning) findings)
+
+let finding_string f =
+  Printf.sprintf "%-7s %-8s %-18s %s"
+    (severity_string f.severity)
+    (match f.pc with Some pc -> Printf.sprintf "pc %d" pc | None -> "-")
+    f.rule f.message
+
+let render findings =
+  String.concat "" (List.map (fun f -> finding_string f ^ "\n") findings)
+
+let finding_to_json f =
+  Prelude.Json.Obj
+    [ ("severity", Prelude.Json.String (severity_string f.severity));
+      ("rule", Prelude.Json.String f.rule);
+      ("pc",
+       match f.pc with
+       | Some pc -> Prelude.Json.Int pc
+       | None -> Prelude.Json.Null);
+      ("message", Prelude.Json.String f.message) ]
+
+let to_json ~name findings =
+  Prelude.Json.Obj
+    [ ("name", Prelude.Json.String name);
+      ("findings", Prelude.Json.List (List.map finding_to_json findings));
+      ("errors", Prelude.Json.Int (errors findings));
+      ("warnings", Prelude.Json.Int (warnings findings)) ]
+
+let report_to_json targets =
+  let total f = List.fold_left (fun acc (_, fs) -> acc + f fs) 0 targets in
+  Prelude.Json.Obj
+    [ ("schema", Prelude.Json.String "predlab/lint");
+      ("version", Prelude.Json.Int 1);
+      ("targets",
+       Prelude.Json.List
+         (List.map (fun (name, fs) -> to_json ~name fs) targets));
+      ("errors", Prelude.Json.Int (total errors));
+      ("warnings", Prelude.Json.Int (total warnings)) ]

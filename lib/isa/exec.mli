@@ -36,6 +36,13 @@ exception Stuck of string
 exception Out_of_fuel
 (** The step budget was exhausted (non-terminating or runaway program). *)
 
+val alu_eval : Instr.alu_op -> int -> int -> int
+(** Scalar ALU semantics shared by [Alu] and [Alui]. Shifts mask their
+    amount with [land 31] (so [b >= 32] and negative [b] wrap rather than
+    saturate) and [Shr] is arithmetic (sign-replicating); see
+    {!Instr.alu_op}. Exposed so abstract interpreters and tests can pin
+    themselves to the exact concrete semantics. *)
+
 val run : ?fuel:int -> Program.t -> input -> outcome
 (** [run ?fuel p i] executes [p] from its entry point until [Halt].
     [fuel] bounds the number of dynamic instructions (default 1_000_000). *)

@@ -9,6 +9,12 @@
     call/return (exercising the method cache). *)
 
 type alu_op = Add | Sub | And | Or | Xor | Shl | Shr | Slt
+(** Shift semantics ({!Exec.alu_eval}): [Shl] and [Shr] mask the shift
+    amount with [land 31] before shifting, so a shift by [b] is a shift
+    by [b mod 32] for [b >= 0] (and e.g. a shift by [-1] becomes a shift
+    by 31). [Shr] is an {e arithmetic} right shift: it replicates the
+    sign bit, so [Shr] of a negative value stays negative. *)
+
 type cmp = Eq | Ne | Lt | Ge
 
 type t =

@@ -294,9 +294,18 @@ let test_classified_fraction () =
       unroll = true; budget = None }
   in
   let result = Analysis.Wcet.bound config Analysis.Wcet.Upper ~shapes ~entry:"main" in
-  let fraction = Analysis.Wcet.classified_fraction result in
+  let fraction =
+    match Analysis.Wcet.classified_fraction result with
+    | Some f -> f
+    | None -> Alcotest.fail "cached walk produced no fetch observations"
+  in
   Alcotest.(check bool) "some accesses classified" true (fraction > 0.0);
-  Alcotest.(check bool) "fraction within [0,1]" true (fraction <= 1.0)
+  Alcotest.(check bool) "fraction within [0,1]" true (fraction <= 1.0);
+  (* A flat-fetch walk records no fetch observations: the fraction must be
+     None, not a vacuous 1.0. *)
+  let flat = Analysis.Wcet.bound flat_config Analysis.Wcet.Upper ~shapes ~entry:"main" in
+  Alcotest.(check bool) "flat fetch yields no fraction" true
+    (Analysis.Wcet.classified_fraction flat = None)
 
 (* Soundness of the UB on random straight-line+loop programs. *)
 let random_ast_workload seed =

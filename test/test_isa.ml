@@ -134,6 +134,21 @@ let test_exec_alu_coverage () =
   Alcotest.(check int) "slt true" 1 (eval Slt 3 9);
   Alcotest.(check int) "slt false" 0 (eval Slt 9 3)
 
+(* The shift amount is masked with [land 31] and Shr replicates the sign
+   bit; regressions here would silently unsoundify the interval transfer
+   in lib/dataflow. *)
+let test_exec_shift_semantics () =
+  let open Isa.Instr in
+  let eval = Isa.Exec.alu_eval in
+  Alcotest.(check int) "shl by 32 wraps to 0" 6 (eval Shl 6 32);
+  Alcotest.(check int) "shl by 33 wraps to 1" 12 (eval Shl 6 33);
+  Alcotest.(check int) "shr by 34 wraps to 2" 3 (eval Shr 12 34);
+  Alcotest.(check int) "shl by -1 becomes 31" (5 lsl 31) (eval Shl 5 (-1));
+  Alcotest.(check int) "shr by -1 becomes 31" 0 (eval Shr 5 (-1));
+  Alcotest.(check int) "shr is arithmetic" (-4) (eval Shr (-8) 1);
+  Alcotest.(check int) "shr of -1 stays -1" (-1) (eval Shr (-1) 31);
+  Alcotest.(check int) "shl of negative" (-16) (eval Shl (-8) 1)
+
 let test_exec_sel () =
   let open Isa.Instr in
   let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3
@@ -622,6 +637,8 @@ let () =
       ("exec",
        [ Alcotest.test_case "arithmetic" `Quick test_exec_arith;
          Alcotest.test_case "ALU operation coverage" `Quick test_exec_alu_coverage;
+         Alcotest.test_case "shift masking and arithmetic shr" `Quick
+           test_exec_shift_semantics;
          Alcotest.test_case "predicated select" `Quick test_exec_sel;
          Alcotest.test_case "pretty-printing" `Quick test_pp_smoke;
          Alcotest.test_case "memory" `Quick test_exec_memory;
