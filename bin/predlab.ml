@@ -1,7 +1,16 @@
 (* predlab — command-line front end to the predictability laboratory:
-   list/run the experiments that reproduce the paper's figures and tables,
-   print the survey tables, summarise per-experiment cost, and diff two
-   machine-readable reports as a regression gate. *)
+   list/run the experiments that reproduce the paper's figures and tables
+   (under a fault-tolerant supervisor with deadlines, retries and a
+   crash-safe journal), print the survey tables, summarise per-experiment
+   cost, run seeded chaos campaigns, and diff two machine-readable reports
+   as a regression gate.
+
+   Exit codes (the documented taxonomy; see HACKING.md):
+     0  success
+     1  every experiment completed, but some reproduction check failed
+     2  usage/input error (unknown id, malformed file or --inject spec)
+     3  supervision failure: >= 1 experiment crashed or timed out
+     4  chaos: the supervisor itself degraded ungracefully *)
 
 type format = Text | Json
 
@@ -12,6 +21,148 @@ let list_experiments () =
 
 let apply_jobs jobs = Prelude.Parallel.set_default_jobs jobs
 
+(* Arm the fault plane from --inject specs; a malformed spec is a usage
+   error (exit 2) before anything runs. *)
+let apply_injections specs =
+  let sites =
+    List.map
+      (fun spec ->
+         match Prelude.Faults.parse_spec spec with
+         | Ok site -> site
+         | Error message ->
+           Printf.eprintf "predlab: --inject %s\n" message;
+           exit 2)
+      specs
+  in
+  if sites <> [] then Prelude.Faults.arm sites
+
+let supervision_of ~deadline ~retries =
+  { Predictability.Experiments.default_supervision with
+    deadline_s = deadline; retries }
+
+(* Final reports are written via a temporary file and a rename, so a
+   crash mid-write can never leave a half-document where a previous good
+   report used to be. *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc contents;
+      Out_channel.flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let emit ~out contents =
+  match out with
+  | None -> print_string contents
+  | Some path -> write_atomic path contents
+
+let render_supervised_text results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+       Buffer.add_string buf (Predictability.Experiments.supervised_render s);
+       Buffer.add_string buf
+         (Printf.sprintf "  [%s]\n\n"
+            (Predictability.Report.timing_string
+               s.Predictability.Experiments.s_timing)))
+    results;
+  buf
+
+let supervised_summary jobs results =
+  let failures = Predictability.Experiments.supervised_failures results in
+  let check_failures =
+    Predictability.Experiments.supervised_check_failures results
+  in
+  let count p = List.length (List.filter p results) in
+  Printf.sprintf
+    "%d/%d experiments fully passed their checks (jobs=%d)%s\n"
+    (List.length results - List.length failures - List.length check_failures)
+    (List.length results) jobs
+    (let extras =
+       (match failures with
+        | [] -> []
+        | fs ->
+          [ Printf.sprintf "%d crashed/timed out (%s)" (List.length fs)
+              (String.concat ", "
+                 (List.map
+                    (fun s -> s.Predictability.Experiments.s_id) fs)) ])
+       @ (match count (fun s -> s.Predictability.Experiments.s_attempts > 1)
+          with
+          | 0 -> []
+          | n -> [ Printf.sprintf "%d retried" n ])
+       @ (match count (fun s -> s.Predictability.Experiments.s_resumed) with
+          | 0 -> []
+          | n -> [ Printf.sprintf "%d resumed from journal" n ])
+     in
+     if extras = [] then "" else "; " ^ String.concat "; " extras)
+
+let exit_supervised results =
+  if Predictability.Experiments.supervised_failures results <> [] then exit 3
+  else if Predictability.Experiments.supervised_check_failures results <> []
+  then exit 1
+
+(* Shared driver of `run` and `all`: supervised execution, text/json
+   rendering, optional journal/resume and atomic --out. *)
+let run_supervised_cli ~jobs ~format ~deadline ~retries ~inject ~journal
+    ~resume ~out ~entries =
+  apply_jobs jobs;
+  apply_injections inject;
+  if resume && journal = None then begin
+    Printf.eprintf "predlab: --resume requires --journal FILE\n";
+    exit 2
+  end;
+  let supervision = supervision_of ~deadline ~retries in
+  match
+    Predictability.Harness.elapsed (fun () ->
+        Predictability.Experiments.run_supervised ~jobs ~supervision
+          ?journal ~resume ~entries ())
+  with
+  | exception Invalid_argument message ->
+    Printf.eprintf "predlab: %s\n" message;
+    exit 2
+  | exception Sys_error message ->
+    Printf.eprintf "predlab: %s\n" message;
+    exit 2
+  | results, elapsed_s ->
+    (match format with
+     | Text ->
+       let buf = render_supervised_text results in
+       Buffer.add_string buf (supervised_summary jobs results);
+       emit ~out (Buffer.contents buf)
+     | Json ->
+       emit ~out
+         (Prelude.Json.to_string_pretty
+            (Predictability.Experiments.supervised_to_json ~jobs ~elapsed_s
+               results)));
+    exit_supervised results
+
+let run_one jobs format deadline retries inject id =
+  match Predictability.Experiments.lookup id with
+  | Error message ->
+    Printf.eprintf "%s\n" message;
+    exit 2
+  | Ok entry ->
+    run_supervised_cli ~jobs ~format ~deadline ~retries ~inject
+      ~journal:None ~resume:false ~out:None ~entries:[ entry ]
+
+let run_all jobs format deadline retries inject journal resume out =
+  run_supervised_cli ~jobs ~format ~deadline ~retries ~inject ~journal
+    ~resume ~out ~entries:Predictability.Experiments.all
+
+let chaos jobs format seed =
+  apply_jobs jobs;
+  let verdict = Predictability.Chaos.run ~jobs ~seed () in
+  (match format with
+   | Text -> print_string (Predictability.Chaos.render verdict)
+   | Json ->
+     print_string
+       (Prelude.Json.to_string_pretty
+          (Predictability.Chaos.verdict_to_json verdict)));
+  if verdict.Predictability.Chaos.violations <> [] then exit 4
+
+(* `stats` keeps the plain unsupervised path (schema v1): it is the cost
+   summary and the ci.sh baseline-compare input, and doubles as coverage
+   that v1 documents stay first-class citizens of the report toolchain. *)
 let print_json_report ~jobs ~elapsed_s results =
   print_string
     (Prelude.Json.to_string_pretty
@@ -26,56 +177,6 @@ let exit_on_failures results =
       results
   in
   if failed <> [] then exit 1
-
-let run_one jobs format id =
-  apply_jobs jobs;
-  match Predictability.Experiments.lookup id with
-  | Error message ->
-    Printf.eprintf "%s\n" message;
-    exit 2
-  | Ok _ ->
-    let result, elapsed_s =
-      Predictability.Harness.elapsed (fun () ->
-          Predictability.Experiments.run_timed id)
-    in
-    (match format with
-     | Text ->
-       print_string (Predictability.Report.render
-                       result.Predictability.Experiments.outcome);
-       Printf.printf "  [%s]\n"
-         (Predictability.Report.timing_string
-            result.Predictability.Experiments.timing)
-     | Json -> print_json_report ~jobs ~elapsed_s [ result ]);
-    exit_on_failures [ result ]
-
-let print_results results =
-  List.iter
-    (fun { Predictability.Experiments.outcome; timing } ->
-       print_string (Predictability.Report.render outcome);
-       Printf.printf "  [%s]\n" (Predictability.Report.timing_string timing);
-       print_newline ())
-    results
-
-let run_all jobs format =
-  apply_jobs jobs;
-  let results, elapsed_s =
-    Predictability.Harness.elapsed (fun () ->
-        Predictability.Experiments.run_all ~jobs ())
-  in
-  (match format with
-   | Text ->
-     print_results results;
-     let failed =
-       List.filter
-         (fun r ->
-            not (Predictability.Report.all_passed
-                   r.Predictability.Experiments.outcome))
-         results
-     in
-     Printf.printf "%d/%d experiments fully passed their checks (jobs=%d)\n"
-       (List.length results - List.length failed) (List.length results) jobs
-   | Json -> print_json_report ~jobs ~elapsed_s results);
-  exit_on_failures results
 
 let stats jobs format =
   apply_jobs jobs;
@@ -267,6 +368,76 @@ let format_arg =
                  schema predlab/report — the input of $(b,predlab \
                  compare)).")
 
+let deadline_arg =
+  let positive_float =
+    let parse s =
+      match Arg.conv_parser Arg.float s with
+      | Ok d when d > 0. -> Ok d
+      | Ok d -> Error (`Msg (Printf.sprintf "%g is not a positive deadline" d))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.float)
+  in
+  Arg.(value
+       & opt (some positive_float) None
+       & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Cooperative per-attempt budget in seconds: an experiment \
+                 observed past it (at a parallel-loop checkpoint, or when \
+                 its runner returns) is classified $(b,timed_out) instead \
+                 of crashing the batch.")
+
+let retries_arg =
+  let nonneg_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "%d is a negative retry count" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value
+       & opt nonneg_int 0
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts after a crash or deadline overrun, with \
+                 bounded exponential backoff (50 ms base, 1 s cap). The \
+                 report's $(b,attempts) field records what was used.")
+
+let inject_arg =
+  Arg.(value
+       & opt_all string []
+       & info [ "inject" ] ~docv:"SITE=ACTION"
+           ~doc:"Arm a fault-injection site for this run (repeatable; \
+                 fires on the site's first arrival). ACTION is $(b,raise), \
+                 $(b,timeout) or $(b,delay:MS); sites include \
+                 $(b,experiment:<ID>), $(b,parallel.spawn) and \
+                 $(b,parallel.task). Example: \
+                 --inject experiment:EQ4=raise.")
+
+let journal_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append one JSON line (schema predlab/journal) per \
+                 finished experiment, fsynced as it happens — a run \
+                 killed mid-batch loses only the experiments still in \
+                 flight.")
+
+let resume_arg =
+  Arg.(value
+       & flag
+       & info [ "resume" ]
+           ~doc:"Skip experiments whose last $(b,--journal) line is \
+                 completed, reconstructing their report records from the \
+                 journal; re-run only the rest. Requires --journal.")
+
+let out_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the report to FILE (atomic: temp file + rename) \
+                 instead of stdout.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List all experiments")
     Term.(const list_experiments $ const ())
@@ -276,12 +447,45 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"ID" ~doc:"Experiment id (see `predlab list`)")
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its report")
-    Term.(const run_one $ jobs_arg $ format_arg $ id)
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one experiment under supervision and print its report. \
+             Exits 0 on success, 1 on failed checks, 3 if the experiment \
+             crashed or timed out.")
+    Term.(const run_one $ jobs_arg $ format_arg $ deadline_arg $ retries_arg
+          $ inject_arg $ id)
 
 let all_cmd =
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ jobs_arg $ format_arg)
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:"Run every experiment under the fault-tolerant supervisor: a \
+             crashing or overrunning experiment becomes a structured \
+             crashed/timed_out record (schema v2) while the rest of the \
+             registry completes. Exits 0 on success, 1 on failed checks, \
+             3 if any experiment crashed or timed out.")
+    Term.(const run_all $ jobs_arg $ format_arg $ deadline_arg $ retries_arg
+          $ inject_arg $ journal_arg $ resume_arg $ out_arg)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value
+         & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed: deterministically picks which \
+                   experiments get raise/delay/timeout faults. Equal \
+                   seeds give equal campaigns on any machine.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Seeded fault campaign over the full registry: run all \
+             experiments under persistent injected faults (no retries) \
+             and again under transient faults (one retry), then assert \
+             graceful degradation — no lost experiments, registry order \
+             preserved, every injected failure classified, retries \
+             recovering transients. Exits 4 on a supervision violation; \
+             injected failures themselves are expected and do not fail \
+             the command.")
+    Term.(const chaos $ jobs_arg $ format_arg $ seed_arg)
 
 let stats_cmd =
   Cmd.v
@@ -370,7 +574,7 @@ let main =
        ~doc:"Predictability laboratory: reproduction of Grund, Reineke & \
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
-    [ list_cmd; run_cmd; all_cmd; stats_cmd; compare_cmd; survey_cmd;
-      workloads_cmd; program_cmd; lint_cmd ]
+    [ list_cmd; run_cmd; all_cmd; chaos_cmd; stats_cmd; compare_cmd;
+      survey_cmd; workloads_cmd; program_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

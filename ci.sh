@@ -23,3 +23,34 @@ if dune exec bin/predlab.exe -- lint --fixture dirty > /dev/null 2>&1; then
 fi
 dune exec bin/predlab.exe -- stats --jobs 2 --format json > _build/current.json
 dune exec bin/predlab.exe -- compare BENCH_0.json _build/current.json --tolerance 400
+
+# Supervision gates. A fault injected into one experiment must not take the
+# run down: the other experiments complete, the failure is classified in the
+# v2 JSON report, and the exit code is the documented 3.
+rm -f _build/faulted.json _build/ci.jsonl _build/resumed.json
+set +e
+dune exec bin/predlab.exe -- all --jobs 2 --inject experiment:EQ4=raise \
+  --journal _build/ci.jsonl --out _build/faulted.json --format json
+status=$?
+set -e
+test "$status" -eq 3
+grep -q '"status": "crashed"' _build/faulted.json
+test "$(grep -c '"status":"completed"' _build/ci.jsonl)" -ge 26
+# Resume from that journal with the fault gone: only EQ4 re-runs, the final
+# report is clean, and the journal gains exactly the one re-run line.
+lines_before=$(wc -l < _build/ci.jsonl)
+dune exec bin/predlab.exe -- all --jobs 2 --resume --journal _build/ci.jsonl \
+  --out _build/resumed.json --format json
+test "$(wc -l < _build/ci.jsonl)" -eq "$((lines_before + 1))"
+grep -q '"resumed": true' _build/resumed.json
+if grep -q '"status": "crashed"' _build/resumed.json; then
+  echo "resume left a crashed experiment in the final report" >&2
+  exit 1
+fi
+# The v1/v2 schema bridge: the supervised v2 report must still compare
+# cleanly against the v1 baseline.
+dune exec bin/predlab.exe -- compare BENCH_0.json _build/resumed.json --tolerance 400
+# Chaos gate: a seeded fault campaign across the whole registry must degrade
+# gracefully (every failure classified, retries recover transients) or the
+# supervisor has regressed.
+dune exec bin/predlab.exe -- chaos --jobs 2 --seed 1

@@ -1,0 +1,208 @@
+module Faults = Prelude.Faults
+module Json = Prelude.Json
+
+type violation = {
+  subject : string;
+  detail : string;
+}
+
+type verdict = {
+  seed : int;
+  plan : Faults.site list;
+  persistent : Experiments.supervised list;
+  transient : Experiments.supervised list;
+  violations : violation list;
+}
+
+let experiment_site id = "experiment:" ^ id
+
+let planned_action plan name =
+  Option.map (fun s -> s.Faults.action)
+    (List.find_opt (fun s -> s.Faults.name = name) plan)
+
+(* Both phases must return exactly the registry, in order — a supervisor
+   that loses or reorders experiments under faults is broken no matter how
+   it classifies them. *)
+let shape_violations ~phase ~entries results =
+  let want = List.map (fun (id, _, _) -> id) entries in
+  let got = List.map (fun s -> s.Experiments.s_id) results in
+  if got = want then []
+  else if List.sort compare got = List.sort compare want then
+    [ { subject = phase; detail = "registry order not preserved" } ]
+  else
+    [ { subject = phase;
+        detail =
+          Printf.sprintf "expected %d results in registry order, got %d"
+            (List.length want) (List.length got) } ]
+
+let status_name s = Report.status_string s.Experiments.s_status
+
+let persistent_violations ~plan ~entries results =
+  shape_violations ~phase:"persistent" ~entries results
+  @ List.concat_map
+      (fun s ->
+         let id = s.Experiments.s_id in
+         let expect_completed detail_prefix =
+           match s.Experiments.s_status with
+           | Report.Completed ->
+             if Experiments.supervised_check_failures [ s ] = [] then []
+             else
+               [ { subject = id;
+                   detail = detail_prefix ^ " completed but checks failed" } ]
+           | _ ->
+             [ { subject = id;
+                 detail =
+                   Printf.sprintf "%s expected completed, got %s"
+                     detail_prefix (status_name s) } ]
+         in
+         match planned_action plan (experiment_site id) with
+         | Some Faults.Raise -> (
+             match s.Experiments.s_status with
+             | Report.Crashed _ -> []
+             | _ ->
+               [ { subject = id;
+                   detail =
+                     Printf.sprintf
+                       "persistent raise expected crashed, got %s"
+                       (status_name s) } ])
+         | Some Faults.Timeout -> (
+             match s.Experiments.s_status with
+             | Report.Timed_out _ -> []
+             | _ ->
+               [ { subject = id;
+                   detail =
+                     Printf.sprintf
+                       "persistent timeout expected timed_out, got %s"
+                       (status_name s) } ])
+         | Some (Faults.Delay _) -> expect_completed "delayed experiment"
+         | None -> expect_completed "fault-free experiment")
+      results
+
+let transient_violations ~plan ~entries results =
+  shape_violations ~phase:"transient" ~entries results
+  @ List.concat_map
+      (fun s ->
+         let id = s.Experiments.s_id in
+         let faulted =
+           match planned_action plan (experiment_site id) with
+           | Some Faults.Raise | Some Faults.Timeout -> true
+           | Some (Faults.Delay _) | None -> false
+         in
+         let completed =
+           match s.Experiments.s_status with
+           | Report.Completed ->
+             if Experiments.supervised_check_failures [ s ] = [] then []
+             else
+               [ { subject = id;
+                   detail = "transient phase completed but checks failed" } ]
+           | _ ->
+             [ { subject = id;
+                 detail =
+                   Printf.sprintf
+                     "one retry did not recover a fire-once fault (%s)"
+                     (status_name s) } ]
+         in
+         let attempts =
+           let expected = if faulted then 2 else 1 in
+           if s.Experiments.s_attempts = expected then []
+           else
+             [ { subject = id;
+                 detail =
+                   Printf.sprintf "expected %d attempt(s), got %d" expected
+                     s.Experiments.s_attempts } ]
+         in
+         completed @ attempts)
+      results
+
+let run ?jobs ?entries ~seed () =
+  let entries =
+    match entries with Some e -> e | None -> Experiments.all
+  in
+  let names =
+    List.map (fun (id, _, _) -> experiment_site id) entries
+    @ [ "parallel.spawn" ]
+  in
+  let plan = Faults.campaign ~seed names in
+  let phase sites supervision =
+    Faults.arm sites;
+    Fun.protect
+      ~finally:(fun () -> Faults.disarm ())
+      (fun () -> Experiments.run_supervised ?jobs ~supervision ~entries ())
+  in
+  let persistent =
+    phase
+      (List.map (fun s -> { s with Faults.fires = -1 }) plan)
+      { Experiments.default_supervision with retries = 0 }
+  in
+  let transient =
+    phase plan { Experiments.default_supervision with retries = 1 }
+  in
+  let violations =
+    persistent_violations ~plan ~entries persistent
+    @ transient_violations ~plan ~entries transient
+  in
+  { seed; plan; persistent; transient; violations }
+
+let verdict_to_json v =
+  let phase results =
+    Json.List (List.map Experiments.supervised_result_to_json results)
+  in
+  Json.Obj
+    [ ("schema", Json.String "predlab/chaos");
+      ("version", Json.Int 1);
+      ("seed", Json.Int v.seed);
+      ("plan",
+       Json.List
+         (List.map (fun s -> Json.String (Faults.describe s)) v.plan));
+      ("persistent", phase v.persistent);
+      ("transient", phase v.transient);
+      ("violations",
+       Json.List
+         (List.map
+            (fun viol ->
+               Json.Obj
+                 [ ("subject", Json.String viol.subject);
+                   ("detail", Json.String viol.detail) ])
+            v.violations));
+      ("graceful", Json.Bool (v.violations = [])) ]
+
+let render v =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "chaos campaign: seed %d, %d armed site(s)\n" v.seed
+       (List.length v.plan));
+  List.iter
+    (fun s -> Buffer.add_string buf ("  inject " ^ Faults.describe s ^ "\n"))
+    v.plan;
+  let phase name results =
+    let count p =
+      List.length (List.filter (fun s -> p s.Experiments.s_status) results)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s: %d experiments -> %d completed, %d crashed, %d timed out, \
+          %d retried\n"
+         name (List.length results)
+         (count (fun st -> st = Report.Completed))
+         (count (function Report.Crashed _ -> true | _ -> false))
+         (count (function Report.Timed_out _ -> true | _ -> false))
+         (List.length
+            (List.filter (fun s -> s.Experiments.s_attempts > 1) results)))
+  in
+  phase "persistent faults (retries 0)" v.persistent;
+  phase "transient faults  (retries 1)" v.transient;
+  (match v.violations with
+   | [] ->
+     Buffer.add_string buf
+       "graceful degradation: OK (no lost experiments, order preserved, \
+        failures classified, retries recovered transients)\n"
+   | violations ->
+     List.iter
+       (fun viol ->
+          Buffer.add_string buf
+            (Printf.sprintf "VIOLATION %s: %s\n" viol.subject viol.detail))
+       violations;
+     Buffer.add_string buf
+       (Printf.sprintf "%d supervision violation(s)\n"
+          (List.length violations)));
+  Buffer.contents buf

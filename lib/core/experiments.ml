@@ -94,3 +94,259 @@ let to_json ~jobs ~elapsed_s results =
    (modulo wall-clock). *)
 let run_all ?jobs () =
   Prelude.Parallel.map ?jobs (fun (_, _, runner) -> timed_runner runner) all
+
+(* --- Fault-tolerant supervision ---------------------------------------- *)
+
+type supervision = {
+  deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+}
+
+let default_supervision = { deadline_s = None; retries = 0; backoff_s = 0.05 }
+
+(* Bounded exponential backoff: attempt k sleeps backoff_s * 2^(k-1), never
+   more than this cap — a crashing experiment must not stall the batch. *)
+let backoff_cap_s = 1.0
+
+type supervised = {
+  s_id : string;
+  s_title : string;
+  s_status : Report.status;
+  s_attempts : int;
+  s_resumed : bool;
+  s_outcome : Report.outcome option;
+  s_timing : Report.timing;
+}
+
+let classify ~wall_s = function
+  | Prelude.Parallel.Deadline_exceeded { elapsed_s; _ } ->
+    Report.Timed_out { after_s = elapsed_s }
+  | Prelude.Faults.Forced_timeout _ -> Report.Timed_out { after_s = wall_s }
+  | exn -> Report.Crashed { error = Printexc.to_string exn }
+
+let journal_entry s =
+  { Journal.id = s.s_id;
+    title = s.s_title;
+    status = s.s_status;
+    attempts = s.s_attempts;
+    checks =
+      (match s.s_outcome with Some o -> o.Report.checks | None -> []);
+    timing = s.s_timing }
+
+let of_journal (e : Journal.entry) =
+  { s_id = e.Journal.id;
+    s_title = e.Journal.title;
+    s_status = e.Journal.status;
+    s_attempts = e.Journal.attempts;
+    s_resumed = true;
+    s_outcome =
+      (match e.Journal.status with
+       | Report.Completed ->
+         Some
+           { Report.id = e.Journal.id; title = e.Journal.title;
+             body = "(resumed from journal; rendered body not recorded)\n";
+             checks = e.Journal.checks }
+       | _ -> None);
+    s_timing = e.Journal.timing }
+
+(* Run one experiment to a verdict: per-attempt cooperative deadline, the
+   "experiment:<id>" fault-injection site, bounded-backoff retries on crash
+   or overrun, and a journal line the moment the verdict is reached. Never
+   raises from the runner — that is the whole point. *)
+let supervise ~supervision ~writer (id, title, runner) =
+  let attempt () =
+    Harness.try_timed (fun () ->
+        let body () =
+          Prelude.Faults.point ("experiment:" ^ id);
+          runner ()
+        in
+        match supervision.deadline_s with
+        | None -> body ()
+        | Some deadline_s -> Prelude.Parallel.with_deadline ~deadline_s body)
+  in
+  let rec go n =
+    let result, timing = attempt () in
+    match result with
+    | Ok outcome ->
+      { s_id = id; s_title = title; s_status = Report.Completed;
+        s_attempts = n; s_resumed = false; s_outcome = Some outcome;
+        s_timing = timing }
+    | Error (exn, _backtrace) ->
+      let status = classify ~wall_s:timing.Report.wall_s exn in
+      if n <= supervision.retries then begin
+        Unix.sleepf
+          (Float.min backoff_cap_s
+             (supervision.backoff_s *. (2. ** float_of_int (n - 1))));
+        go (n + 1)
+      end
+      else
+        { s_id = id; s_title = title; s_status = status; s_attempts = n;
+          s_resumed = false; s_outcome = None; s_timing = timing }
+  in
+  let verdict = go 1 in
+  Option.iter (fun w -> Journal.append w (journal_entry verdict)) writer;
+  verdict
+
+let zero_timing = { Report.wall_s = 0.; cells = 0; evals = 0 }
+
+let run_supervised ?jobs ?(supervision = default_supervision) ?journal
+    ?(resume = false) ?(entries = all) () =
+  if supervision.retries < 0 then
+    invalid_arg "Experiments.run_supervised: retries must be >= 0";
+  if supervision.backoff_s < 0. then
+    invalid_arg "Experiments.run_supervised: backoff must be >= 0";
+  (match supervision.deadline_s with
+   | Some d when d <= 0. ->
+     invalid_arg "Experiments.run_supervised: deadline must be > 0"
+   | _ -> ());
+  let resumed =
+    if not resume then []
+    else
+      match journal with
+      | None ->
+        invalid_arg "Experiments.run_supervised: resume requires a journal"
+      | Some path -> (
+          match Journal.load path with
+          | Error message ->
+            invalid_arg ("Experiments.run_supervised: " ^ message)
+          | Ok loaded ->
+            let completed = Journal.completed_ids loaded in
+            List.filter_map
+              (fun (id, _, _) ->
+                 if not (List.mem id completed) then None
+                 else
+                   (* last Completed line wins (a crash line followed by a
+                      successful re-run resumes as completed) *)
+                   List.fold_left
+                     (fun acc (e : Journal.entry) ->
+                        if e.Journal.id = id
+                        && e.Journal.status = Report.Completed
+                        then Some (of_journal e)
+                        else acc)
+                     None loaded)
+              entries)
+  in
+  let resumed_ids = List.map (fun s -> s.s_id) resumed in
+  let todo =
+    List.filter (fun (id, _, _) -> not (List.mem id resumed_ids)) entries
+  in
+  let writer = Option.map Journal.create journal in
+  let finish () = Option.iter Journal.close writer in
+  let fresh =
+    Fun.protect ~finally:finish (fun () ->
+        Prelude.Parallel.map_result ?jobs (supervise ~supervision ~writer)
+          todo)
+  in
+  (* [supervise] never raises, so Error here means the supervisor itself
+     broke; the experiment still must not vanish from the report. *)
+  let fresh =
+    List.map2
+      (fun (id, title, _) result ->
+         match result with
+         | Ok s -> s
+         | Error { Prelude.Parallel.exn; _ } ->
+           { s_id = id; s_title = title;
+             s_status =
+               Report.Crashed
+                 { error = "supervisor failure: " ^ Printexc.to_string exn };
+             s_attempts = 1; s_resumed = false; s_outcome = None;
+             s_timing = zero_timing })
+      todo fresh
+  in
+  (* One record per registry entry, in registry order, resumed or fresh. *)
+  List.map
+    (fun (id, _, _) ->
+       match List.find_opt (fun s -> s.s_id = id) fresh with
+       | Some s -> s
+       | None -> List.find (fun s -> s.s_id = id) resumed)
+    entries
+
+let supervised_failures sups =
+  List.filter (fun s -> s.s_status <> Report.Completed) sups
+
+let supervised_check_failures sups =
+  List.filter
+    (fun s ->
+       match s.s_outcome with
+       | Some o -> not (Report.all_passed o)
+       | None -> false)
+    sups
+
+let supervised_passed s =
+  match s.s_outcome with Some o -> Report.all_passed o | None -> false
+
+let supervised_result_to_json s =
+  let checks =
+    match s.s_outcome with Some o -> o.Report.checks | None -> []
+  in
+  let passed = List.filter (fun c -> c.Report.passed) checks in
+  let timing_fields =
+    match Report.timing_to_json s.s_timing with
+    | Prelude.Json.Obj fields -> fields
+    | _ -> assert false
+  in
+  Prelude.Json.Obj
+    ([ ("id", Prelude.Json.String s.s_id);
+       ("title", Prelude.Json.String s.s_title) ]
+     @ Report.status_fields s.s_status
+     @ [ ("attempts", Prelude.Json.Int s.s_attempts);
+         ("resumed", Prelude.Json.Bool s.s_resumed);
+         ("checks",
+          Prelude.Json.List (List.map Report.check_to_json checks));
+         ("checks_passed", Prelude.Json.Int (List.length passed));
+         ("checks_total", Prelude.Json.Int (List.length checks)) ]
+     @ timing_fields)
+
+let supervised_wall_sum sups =
+  List.fold_left (fun acc s -> acc +. s.s_timing.Report.wall_s) 0. sups
+
+let supervised_to_json ~jobs ~elapsed_s sups =
+  let count p = List.length (List.filter p sups) in
+  Prelude.Json.Obj
+    [ ("schema", Prelude.Json.String "predlab/report");
+      ("version", Prelude.Json.Int 2);
+      ("jobs", Prelude.Json.Int jobs);
+      ("elapsed_s", Prelude.Json.Float elapsed_s);
+      ("wall_sum_s", Prelude.Json.Float (supervised_wall_sum sups));
+      ("experiments_passed", Prelude.Json.Int (count supervised_passed));
+      ("experiments_total", Prelude.Json.Int (List.length sups));
+      ("completed",
+       Prelude.Json.Int (count (fun s -> s.s_status = Report.Completed)));
+      ("crashed",
+       Prelude.Json.Int
+         (count (fun s ->
+              match s.s_status with Report.Crashed _ -> true | _ -> false)));
+      ("timed_out",
+       Prelude.Json.Int
+         (count (fun s ->
+              match s.s_status with
+              | Report.Timed_out _ -> true
+              | _ -> false)));
+      ("retried", Prelude.Json.Int (count (fun s -> s.s_attempts > 1)));
+      ("experiments",
+       Prelude.Json.List (List.map supervised_result_to_json sups)) ]
+
+let supervised_render s =
+  match s.s_outcome with
+  | Some outcome ->
+    let notes =
+      (if s.s_attempts > 1 then
+         [ Printf.sprintf "succeeded on attempt %d" s.s_attempts ]
+       else [])
+      @ (if s.s_resumed then [ "resumed from journal" ] else [])
+    in
+    Report.render outcome
+    ^ (if notes = [] then ""
+       else Printf.sprintf "  (%s)\n" (String.concat "; " notes))
+  | None ->
+    let verdict =
+      match s.s_status with
+      | Report.Crashed { error } -> Printf.sprintf "CRASHED: %s" error
+      | Report.Timed_out { after_s } ->
+        Printf.sprintf "TIMED OUT after %.3fs" after_s
+      | Report.Completed -> assert false (* completed implies an outcome *)
+    in
+    Printf.sprintf "=== %s: %s ===\n  [%s] (%d attempt%s)\n" s.s_id s.s_title
+      verdict s.s_attempts
+      (if s.s_attempts = 1 then "" else "s")

@@ -73,3 +73,21 @@ let timed f =
    { Report.wall_s;
      cells = after.Prelude.Instrument.cells - before.Prelude.Instrument.cells;
      evals = after.Prelude.Instrument.evals - before.Prelude.Instrument.evals })
+
+(* [timed] for code that may raise: the timing bracket closes either way,
+   so a crashed experiment attempt still gets wall-clock and counter deltas
+   attributed (the supervisor reports how long a failure took to happen). *)
+let try_timed f =
+  let before = Prelude.Instrument.snapshot () in
+  let started = Prelude.Instrument.now () in
+  let outcome =
+    match f () with
+    | v -> Ok v
+    | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+  in
+  let wall_s = Prelude.Instrument.now () -. started in
+  let after = Prelude.Instrument.snapshot () in
+  (outcome,
+   { Report.wall_s;
+     cells = after.Prelude.Instrument.cells - before.Prelude.Instrument.cells;
+     evals = after.Prelude.Instrument.evals - before.Prelude.Instrument.evals })

@@ -48,3 +48,11 @@ val timed : (unit -> 'a) -> 'a * Report.timing
     domain's {!Prelude.Instrument} counters (reset before, snapshot after).
     Parallel kernels credit their sweeps to the calling domain, so this
     attributes correctly even when [f] fans out internally. *)
+
+val try_timed :
+  (unit -> 'a) ->
+  ('a, exn * Printexc.raw_backtrace) Stdlib.result * Report.timing
+(** {!timed} for code that may raise: the bracket closes on the error path
+    too, so a crashed or timed-out experiment attempt still reports how
+    much wall clock and counter work it burned before failing. Never
+    raises (from [f]'s exceptions). *)

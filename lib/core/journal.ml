@@ -1,0 +1,123 @@
+module Json = Prelude.Json
+
+type entry = {
+  id : string;
+  title : string;
+  status : Report.status;
+  attempts : int;
+  checks : Report.check list;
+  timing : Report.timing;
+}
+
+let entry_to_json e =
+  Json.Obj
+    ([ ("schema", Json.String "predlab/journal");
+       ("version", Json.Int 1);
+       ("id", Json.String e.id);
+       ("title", Json.String e.title) ]
+     @ Report.status_fields e.status
+     @ [ ("attempts", Json.Int e.attempts);
+         ("checks", Json.List (List.map Report.check_to_json e.checks));
+         ("wall_s", Json.Float e.timing.Report.wall_s);
+         ("cells", Json.Int e.timing.Report.cells);
+         ("evals", Json.Int e.timing.Report.evals) ])
+
+let entry_of_json json =
+  let str field = Option.bind (Json.member field json) Json.string_value in
+  let num field = Option.bind (Json.member field json) Json.float_value in
+  let int field = Option.bind (Json.member field json) Json.int_value in
+  match str "id", str "title" with
+  | None, _ -> Error "journal entry without a string \"id\""
+  | _, None -> Error "journal entry without a string \"title\""
+  | Some id, Some title ->
+    Result.bind (Report.status_of_json json) (fun status ->
+        let checks =
+          match Option.bind (Json.member "checks" json) Json.to_list with
+          | None -> []
+          | Some checks ->
+            List.filter_map
+              (fun c ->
+                 match
+                   Option.bind (Json.member "label" c) Json.string_value,
+                   Option.bind (Json.member "passed" c) Json.bool_value
+                 with
+                 | Some label, Some passed -> Some (Report.check label passed)
+                 | _ -> None)
+              checks
+        in
+        Ok
+          { id; title; status;
+            attempts = Option.value ~default:1 (int "attempts");
+            checks;
+            timing =
+              { Report.wall_s = Option.value ~default:0. (num "wall_s");
+                cells = Option.value ~default:0 (int "cells");
+                evals = Option.value ~default:0 (int "evals") } })
+
+type writer = {
+  mu : Mutex.t;
+  channel : out_channel;
+}
+
+let create path =
+  { mu = Mutex.create ();
+    channel = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+
+(* One line per call, flushed and fsynced before the mutex is released:
+   after [append] returns, the entry survives a process kill. The fsync is
+   what makes "killed mid-run, then --resume" lose at most the experiments
+   that had not finished — never one that had. *)
+let append t e =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+       output_string t.channel (Json.to_string (entry_to_json e));
+       output_char t.channel '\n';
+       flush t.channel;
+       Unix.fsync (Unix.descr_of_out_channel t.channel))
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () -> close_out t.channel)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> Ok []
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    (* Drop the final element: either the empty string after the last
+       complete line's newline, or a torn line from a mid-write crash.
+       Everything before it must parse. *)
+    let complete =
+      match List.rev lines with [] -> [] | _ :: rest -> List.rev rest
+    in
+    let rec parse acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | "" :: rest -> parse acc (lineno + 1) rest
+      | line :: rest -> (
+          match Json.parse line with
+          | Error message ->
+            Error (Printf.sprintf "%s:%d: %s" path lineno message)
+          | Ok json -> (
+              match entry_of_json json with
+              | Error message ->
+                Error (Printf.sprintf "%s:%d: %s" path lineno message)
+              | Ok entry -> parse (entry :: acc) (lineno + 1) rest))
+    in
+    parse [] 1 complete
+
+let completed_ids entries =
+  let last_status =
+    List.fold_left
+      (fun acc e ->
+         (e.id, e.status) :: List.remove_assoc e.id acc)
+      [] entries
+  in
+  List.rev
+    (List.filter_map
+       (fun (id, status) ->
+          match status with Report.Completed -> Some id | _ -> None)
+       last_status)

@@ -1,0 +1,62 @@
+(** Crash-safe experiment journal: one JSON line per finished experiment.
+
+    [predlab all --journal FILE] appends an {!entry} the moment each
+    experiment reaches a verdict (completed, crashed or timed out), so a
+    run killed mid-batch loses at most the experiments still in flight.
+    [--resume] then {!load}s the file, skips ids whose last entry is
+    {!Report.Completed}, and re-runs only the rest — reconstructing the
+    skipped experiments' report records (checks, status, timing) from
+    their journal lines, so the final report is the same as an
+    uninterrupted run's (modulo the re-run experiments' wall clock).
+
+    Line format (schema [predlab/journal], version 1, one compact JSON
+    object per line):
+    {v
+    {"schema":"predlab/journal","version":1,"id":"EQ4","title":...,
+     "status":"completed","attempts":1,
+     "checks":[{"label":...,"passed":...},...],
+     "wall_s":0.123,"cells":540,"evals":540}
+    v}
+    [Crashed] entries carry ["error"], [Timed_out] entries ["after_s"]
+    (the {!Report.status_fields} encoding), and both omit nothing else —
+    every line is self-contained.
+
+    Crash safety: lines are appended, flushed and fsynced one at a time
+    under a mutex (writers may sit on different worker domains), and
+    {!load} tolerates a torn final line — the signature of dying
+    mid-write — by ignoring it. A malformed line anywhere {e else} is a
+    hard error: that is a corrupt journal, not a crash artifact. *)
+
+type entry = {
+  id : string;
+  title : string;
+  status : Report.status;
+  attempts : int;    (** 1 = succeeded/failed on the first try *)
+  checks : Report.check list;  (** empty unless [status = Completed] *)
+  timing : Report.timing;
+}
+
+type writer
+
+val create : string -> writer
+(** Open (creating if needed) the journal for appending. Raises
+    [Sys_error] if the path is unwritable. *)
+
+val append : writer -> entry -> unit
+(** Serialise one line, flush and fsync before returning. Thread-safe. *)
+
+val close : writer -> unit
+
+val entry_to_json : entry -> Prelude.Json.t
+val entry_of_json : Prelude.Json.t -> (entry, string) Stdlib.result
+
+val load : string -> (entry list, string) Stdlib.result
+(** Entries in file order ([Ok []] if the file does not exist — resuming
+    from a journal that was never written is an empty resume, not an
+    error). A truncated final line is ignored; any other malformed line is
+    an [Error] naming its line number. *)
+
+val completed_ids : entry list -> string list
+(** Ids whose {e last} entry is {!Report.Completed} — the set [--resume]
+    skips (later entries win, so a crash line followed by a successful
+    re-run counts as completed and vice versa). *)

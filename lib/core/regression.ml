@@ -56,6 +56,24 @@ let checks_of exp =
   | Some checks -> Option.value ~default:[] (Prelude.Json.to_list checks)
   | None -> []
 
+(* A baseline experiment that completed (v1 records always did — absent
+   "status" parses as Completed) but is crashed/timed-out in the current
+   report regressed even if it had no checks to lose. *)
+let status_findings ~id ~base_exp ~cur_exp =
+  match Report.status_of_json base_exp, Report.status_of_json cur_exp with
+  | Ok Report.Completed, Ok (Report.Crashed { error }) ->
+    [ { kind = Check_regression; subject = id;
+        detail = "completed in baseline, crashed in current: " ^ error } ]
+  | Ok Report.Completed, Ok (Report.Timed_out { after_s }) ->
+    [ { kind = Check_regression; subject = id;
+        detail =
+          Printf.sprintf
+            "completed in baseline, timed out in current (after %.3fs)"
+            after_s } ]
+  | Error message, _ | _, Error message ->
+    [ { kind = Schema; subject = id; detail = message } ]
+  | Ok _, Ok _ -> []
+
 let compare_experiments ~tolerance_pct ~baseline ~current =
   let current_by_id = index_by "id" current in
   List.concat_map
@@ -100,7 +118,8 @@ let compare_experiments ~tolerance_pct ~baseline ~current =
                    ~subject:id base cur
                | _ -> []
              in
-             check_findings @ wall_findings)
+             status_findings ~id ~base_exp ~cur_exp
+             @ check_findings @ wall_findings)
        | _ ->
          [ { kind = Schema; subject = "experiments";
              detail = "baseline entry without a string \"id\"" } ])
@@ -141,9 +160,29 @@ let experiments_of doc =
 let kernels_of doc =
   Option.bind (Prelude.Json.member "kernels" doc) Prelude.Json.to_list
 
+(* Both report schema versions are accepted on either side: v1 (plain
+   results) and v2 (supervised, with per-experiment status). An absent
+   "version" is fine — bench documents and hand-built fixtures never
+   carried one. *)
+let version_findings ~subject doc =
+  match Prelude.Json.member "version" doc with
+  | None | Some (Prelude.Json.Int (1 | 2)) -> []
+  | Some (Prelude.Json.Int v) ->
+    [ { kind = Schema; subject;
+        detail =
+          Printf.sprintf "unsupported report version %d (expected 1 or 2)" v } ]
+  | Some _ ->
+    [ { kind = Schema; subject; detail = "non-integer report version" } ]
+
 let compare_reports ?(tolerance_pct = 50.) ~baseline ~current () =
   if tolerance_pct < 0. then
     invalid_arg "Regression.compare_reports: negative tolerance";
+  match
+    version_findings ~subject:"baseline" baseline
+    @ version_findings ~subject:"current" current
+  with
+  | _ :: _ as findings -> findings
+  | [] ->
   match experiments_of baseline with
   | None ->
     [ { kind = Schema; subject = "baseline";

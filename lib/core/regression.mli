@@ -3,10 +3,18 @@
     trajectory point, or [predlab --format json] output) and flag anything
     that got worse.
 
+    Both report schema versions are accepted on either side: v1 (plain
+    [Experiments.to_json] results) and v2 ([Experiments.supervised_to_json],
+    with per-experiment supervision status); any other [version] is a
+    schema finding. A v2 experiment that crashed or timed out while its
+    baseline counterpart completed is a check regression even before its
+    (empty) check list is compared.
+
     Gated conditions, per experiment paired by [id]:
     - {e check regressions} — a reproduction check that passed in the
-      baseline but fails (or disappeared) in the current report. Always
-      gated, regardless of tolerance.
+      baseline but fails (or disappeared) in the current report, or an
+      experiment that stopped completing. Always gated, regardless of
+      tolerance.
     - {e slowdowns} — current [wall_s] exceeding baseline by more than the
       tolerance (percent). Only armed when the baseline wall clock is above
       a noise floor (10 ms), so micro-experiments don't trip on jitter.

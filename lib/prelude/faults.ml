@@ -1,0 +1,123 @@
+(* Injection sites are consulted on hot-ish paths (once per experiment
+   attempt, once per domain spawn), so the disarmed fast path is a single
+   atomic load of the empty plan. Arrival counters are per-site atomics:
+   which arrival a given call is never depends on scheduling (each site is
+   reached a deterministic number of times by construction of the call
+   sites), so a plan fires identically at any job count. *)
+
+type action =
+  | Raise
+  | Delay of float
+  | Timeout
+
+type site = {
+  name : string;
+  action : action;
+  skip : int;
+  fires : int;
+}
+
+exception Injected of string
+exception Forced_timeout of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "Faults.Injected(%S)" site)
+    | Forced_timeout site -> Some (Printf.sprintf "Faults.Forced_timeout(%S)" site)
+    | _ -> None)
+
+let site ?(skip = 0) ?(fires = 1) name action =
+  if skip < 0 then invalid_arg "Faults.site: skip must be >= 0";
+  if fires < -1 then invalid_arg "Faults.site: fires must be >= -1";
+  { name; action; skip; fires }
+
+type armed_site = {
+  spec : site;
+  arrivals : int Atomic.t;
+}
+
+let plan : armed_site list Atomic.t = Atomic.make []
+
+let arm sites =
+  let rec uniq seen = function
+    | [] -> []
+    | s :: rest ->
+      if List.mem s.name seen then uniq seen rest
+      else { spec = s; arrivals = Atomic.make 0 } :: uniq (s.name :: seen) rest
+  in
+  Atomic.set plan (uniq [] sites)
+
+let disarm () = Atomic.set plan []
+
+let armed () = Atomic.get plan <> []
+
+let perform name = function
+  | Raise -> raise (Injected name)
+  | Timeout -> raise (Forced_timeout name)
+  | Delay s -> if s > 0. then Unix.sleepf s
+
+let point name =
+  match Atomic.get plan with
+  | [] -> ()
+  | entries ->
+    match List.find_opt (fun e -> e.spec.name = name) entries with
+    | None -> ()
+    | Some entry ->
+      let n = Atomic.fetch_and_add entry.arrivals 1 in
+      let { action; skip; fires; _ } = entry.spec in
+      if n >= skip && (fires = -1 || n < skip + fires) then
+        perform name action
+
+let parse_spec spec =
+  match String.rindex_opt spec '=' with
+  | None ->
+    Error (Printf.sprintf "%S: expected SITE=ACTION" spec)
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let action_s = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if name = "" then Error (Printf.sprintf "%S: empty site name" spec)
+    else begin
+      let delay_prefix = "delay:" in
+      let action =
+        if action_s = "raise" then Ok Raise
+        else if action_s = "timeout" then Ok Timeout
+        else if String.length action_s > String.length delay_prefix
+             && String.sub action_s 0 (String.length delay_prefix) = delay_prefix
+        then
+          let ms =
+            String.sub action_s (String.length delay_prefix)
+              (String.length action_s - String.length delay_prefix)
+          in
+          match float_of_string_opt ms with
+          | Some ms when ms >= 0. -> Ok (Delay (ms /. 1000.))
+          | _ -> Error (Printf.sprintf "%S: bad delay %S (milliseconds)" spec ms)
+        else
+          Error
+            (Printf.sprintf "%S: unknown action %S (raise|timeout|delay:MS)"
+               spec action_s)
+      in
+      Result.map (fun action -> site name action) action
+    end
+
+(* Splitmix keyed on (seed, site name): Hashtbl.hash on strings is a pure
+   function of the contents, so plans are stable across processes. *)
+let campaign ~seed names =
+  List.filter_map
+    (fun name ->
+       let rng = Rng.make ((seed * 0x9e3779b1) lxor Hashtbl.hash name) in
+       match Rng.int rng 100 with
+       | d when d < 60 -> None
+       | d when d < 75 -> Some (site name Raise)
+       | d when d < 90 -> Some (site name (Delay 0.002))
+       | _ -> Some (site name Timeout))
+    names
+
+let action_string = function
+  | Raise -> "raise"
+  | Timeout -> "timeout"
+  | Delay s -> Printf.sprintf "delay:%gms" (s *. 1000.)
+
+let describe s =
+  Printf.sprintf "%s %s (skip %d, fires %s)" s.name (action_string s.action)
+    s.skip
+    (if s.fires = -1 then "all" else string_of_int s.fires)

@@ -1,0 +1,72 @@
+(** Seed-deterministic fault injection for the robustness harness.
+
+    The paper treats predictability as behaviour under sources of
+    uncertainty; this module makes the laboratory itself measurable under
+    one such source — injected faults. Code under supervision declares
+    named {e injection sites} ([Faults.point "experiment:EQ4"],
+    [Faults.point "parallel.spawn"]); a test, the [--inject] CLI flag or a
+    seeded chaos campaign arms some of those sites with an {!action}. A
+    disarmed plane is a no-op: [point] is one atomic load and a branch, so
+    production runs pay nothing.
+
+    Determinism: arrivals at each site are counted per site (atomically),
+    and whether the [n]-th arrival fires is a pure function of the
+    installed plan — never of wall-clock or scheduling — so a campaign
+    with a given seed injects the same faults at the same arrivals on
+    every run, at any [--jobs] count. *)
+
+type action =
+  | Raise              (** raise {!Injected} at the site *)
+  | Delay of float     (** sleep this many seconds, then continue *)
+  | Timeout            (** raise {!Forced_timeout}: simulates a task
+                           blowing its deadline without the wall-clock
+                           cost of actually sleeping through it *)
+
+type site = {
+  name : string;
+  action : action;
+  skip : int;   (** arrivals ignored before the site starts firing *)
+  fires : int;  (** arrivals that fire after [skip]; [-1] = every one *)
+}
+
+exception Injected of string
+(** Raised by an armed [Raise] site; the payload is the site name. *)
+
+exception Forced_timeout of string
+(** Raised by an armed [Timeout] site; the payload is the site name.
+    Supervisors classify it as a deadline overrun, not a crash. *)
+
+val site : ?skip:int -> ?fires:int -> string -> action -> site
+(** [site name action] fires on the first arrival only ([skip = 0],
+    [fires = 1]) unless overridden.
+    @raise Invalid_argument on [skip < 0] or [fires < -1]. *)
+
+val arm : site list -> unit
+(** Install a plan, replacing any previous one and zeroing all arrival
+    counters. Duplicate site names keep the first entry. *)
+
+val disarm : unit -> unit
+(** Remove the plan. Subsequent {!point} calls are no-ops again. *)
+
+val armed : unit -> bool
+
+val point : string -> unit
+(** Declare an injection site and pass through it. No-op unless a plan
+    entry with this name is armed and this arrival is within its
+    [skip]/[fires] window; otherwise performs the entry's {!action}. *)
+
+val parse_spec : string -> (site, string) result
+(** Parse one [--inject] argument: [SITE=ACTION] where [ACTION] is
+    [raise], [timeout] or [delay:MS]. The last [=] splits, so site names
+    may contain [=]-free colons ([experiment:EQ4=raise]). The parsed site
+    fires on its first arrival only. *)
+
+val campaign : seed:int -> string list -> site list
+(** Seed-deterministic chaos plan over the given site names: each name
+    independently draws (from a splitmix stream keyed on [seed] and the
+    name) one of {e no fault} (most likely), [Raise], [Delay] (a few
+    milliseconds) or [Timeout]. Equal seeds and names give equal plans —
+    the basis of [predlab chaos --seed N]. *)
+
+val describe : site -> string
+(** ["experiment:EQ4 raise (skip 0, fires 1)"] — for logs and reports. *)

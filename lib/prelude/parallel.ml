@@ -29,6 +29,48 @@ let resolve_jobs = function
    OCaml runtime's total-domain cap, and cores are never oversubscribed. *)
 let on_worker = Domain.DLS.new_key (fun () -> false)
 
+(* --- Cooperative deadlines --------------------------------------------- *)
+
+exception Deadline_exceeded of { elapsed_s : float; deadline_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded { elapsed_s; deadline_s } ->
+      Some
+        (Printf.sprintf "Parallel.Deadline_exceeded(%.3fs > %.3fs)" elapsed_s
+           deadline_s)
+    | _ -> None)
+
+(* (start time, budget) of the innermost deadlined task running on this
+   domain, if any. Purely cooperative: OCaml domains cannot be preempted,
+   so overruns are detected at checkpoints ([check_deadline], which the
+   slice loops below hit between elements) and post-hoc when a task
+   returns. *)
+let task_deadline = Domain.DLS.new_key (fun () -> None)
+
+let check_deadline () =
+  match Domain.DLS.get task_deadline with
+  | None -> ()
+  | Some (started, deadline_s) ->
+    let elapsed_s = Instrument.now () -. started in
+    if elapsed_s > deadline_s then
+      raise (Deadline_exceeded { elapsed_s; deadline_s })
+
+let with_deadline ~deadline_s f =
+  if deadline_s <= 0. then
+    invalid_arg "Parallel.with_deadline: deadline must be > 0";
+  let started = Instrument.now () in
+  let saved = Domain.DLS.get task_deadline in
+  Domain.DLS.set task_deadline (Some (started, deadline_s));
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set task_deadline saved)
+    (fun () ->
+       let v = f () in
+       let elapsed_s = Instrument.now () -. started in
+       if elapsed_s > deadline_s then
+         raise (Deadline_exceeded { elapsed_s; deadline_s });
+       v)
+
 module Pool = struct
   type t = {
     mu : Mutex.t;
@@ -66,14 +108,28 @@ module Pool = struct
     ignore (Atomic.fetch_and_add t.worker_evals counts.Instrument.evals);
     ignore (Atomic.fetch_and_add t.worker_cells counts.Instrument.cells)
 
+  (* Spawn up to [size] workers. [Domain.spawn] can fail (the runtime caps
+     live domains at ~128, and the "parallel.spawn" fault site simulates
+     exactly that); a failure after [k] successful spawns used to leak
+     those [k] domains blocked on the queue forever and poison the caller —
+     now the pool simply degrades to the achieved width [k], and the
+     already-spawned domains are the pool. Width 0 is a valid result; the
+     callers below fall back to running inline. *)
   let create size =
     let t =
       { mu = Mutex.create (); work_ready = Condition.create ();
         queue = Queue.create (); closed = false; domains = [];
         worker_evals = Atomic.make 0; worker_cells = Atomic.make 0 }
     in
-    t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+    (try
+       for _ = 1 to size do
+         Faults.point "parallel.spawn";
+         t.domains <- Domain.spawn (fun () -> worker t) :: t.domains
+       done
+     with _ -> ());
     t
+
+  let width t = List.length t.domains
 
   let submit t task =
     Mutex.lock t.mu;
@@ -94,42 +150,76 @@ module Pool = struct
 end
 
 (* Tasks must never raise (a raising task would kill its worker domain and
-   strand the queue), so failures are parked here and re-raised with their
-   original backtrace once the pool has drained. *)
+   strand the queue), so failures are parked here and re-raised once the
+   pool has drained. *)
 type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Multiple_failures of { count : int; first : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Multiple_failures { count; first } ->
+      Some
+        (Printf.sprintf "Parallel.Multiple_failures(%d tasks; first: %s)"
+           count (Printexc.to_string first))
+    | _ -> None)
 
 (* Execute [body i] for all [0 <= i < count]. Indices are grouped into
    contiguous slices (a few per worker, so cheap bodies don't pay a mutex
    round-trip per element while load imbalance still smooths out), and each
-   slice becomes one pool task. *)
+   slice becomes one pool task. Every failure that occurs is collected (new
+   work stops being started after the first); a single failure re-raises
+   transparently, several raise [Multiple_failures] carrying the count and
+   the earliest-recorded exception. *)
 let run_tasks ~jobs ~count body =
   if count > 0 then begin
-    if jobs <= 1 || count = 1 || Domain.DLS.get on_worker then
-      for i = 0 to count - 1 do body i done
+    let sequential () =
+      for i = 0 to count - 1 do
+        check_deadline ();
+        body i
+      done
+    in
+    if jobs <= 1 || count = 1 || Domain.DLS.get on_worker then sequential ()
     else begin
       let slices = Stdlib.min count (jobs * 8) in
       let slice_len = (count + slices - 1) / slices in
       let pool = Pool.create (Stdlib.min jobs slices) in
-      let first_failure = Atomic.make None in
-      for s = 0 to slices - 1 do
-        let lo = s * slice_len in
-        let hi = Stdlib.min count (lo + slice_len) - 1 in
-        if lo <= hi then
-          Pool.submit pool (fun () ->
-              try
-                for i = lo to hi do
-                  if Atomic.get first_failure = None then body i
-                done
-              with exn ->
-                let backtrace = Printexc.get_raw_backtrace () in
-                ignore
-                  (Atomic.compare_and_set first_failure None
-                     (Some { exn; backtrace })))
-      done;
-      Pool.drain pool;
-      match Atomic.get first_failure with
-      | Some { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
-      | None -> ()
+      if Pool.width pool = 0 then begin
+        (* Every spawn failed: degrade to the calling domain. *)
+        Pool.drain pool;
+        sequential ()
+      end
+      else begin
+        let failed = Atomic.make 0 in
+        let failures_mu = Mutex.create () in
+        let failures = ref [] in
+        let record f =
+          Mutex.lock failures_mu;
+          failures := f :: !failures;
+          Mutex.unlock failures_mu;
+          Atomic.incr failed
+        in
+        for s = 0 to slices - 1 do
+          let lo = s * slice_len in
+          let hi = Stdlib.min count (lo + slice_len) - 1 in
+          if lo <= hi then
+            Pool.submit pool (fun () ->
+                try
+                  for i = lo to hi do
+                    if Atomic.get failed = 0 then body i
+                  done
+                with exn ->
+                  record { exn; backtrace = Printexc.get_raw_backtrace () })
+        done;
+        Pool.drain pool;
+        match List.rev !failures with
+        | [] -> ()
+        | [ { exn; backtrace } ] -> Printexc.raise_with_backtrace exn backtrace
+        | { exn; backtrace } :: _ as all ->
+          Printexc.raise_with_backtrace
+            (Multiple_failures { count = List.length all; first = exn })
+            backtrace
+      end
     end
   end
 
@@ -144,6 +234,61 @@ let map_array ?jobs f xs =
   end
 
 let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+(* --- Per-task isolation ------------------------------------------------- *)
+
+type task_error = {
+  index : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+(* Run one isolated task: arm the cooperative deadline for this domain,
+   pass through the "parallel.task" fault site, and catch everything —
+   [with_deadline] adds the post-hoc overrun check for tasks that ran past
+   their budget without reaching a checkpoint. Never raises. *)
+let guarded ~deadline_s f x index =
+  let body () =
+    Faults.point "parallel.task";
+    f x
+  in
+  match
+    match deadline_s with
+    | None -> body ()
+    | Some deadline_s -> with_deadline ~deadline_s body
+  with
+  | v -> Ok v
+  | exception exn ->
+    Error { index; exn; backtrace = Printexc.get_raw_backtrace () }
+
+let map_result ?jobs ?deadline_s f xs =
+  let jobs = resolve_jobs jobs in
+  (match deadline_s with
+   | Some d when d <= 0. -> invalid_arg "Parallel.map_result: deadline must be > 0"
+   | _ -> ());
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let task i = results.(i) <- Some (guarded ~deadline_s f arr.(i) i) in
+  if n > 0 then begin
+    if jobs <= 1 || n = 1 || Domain.DLS.get on_worker then
+      for i = 0 to n - 1 do task i done
+    else begin
+      let pool = Pool.create (Stdlib.min jobs n) in
+      if Pool.width pool = 0 then begin
+        Pool.drain pool;
+        for i = 0 to n - 1 do task i done
+      end
+      else begin
+        for i = 0 to n - 1 do
+          Pool.submit pool (fun () -> task i)
+        done;
+        Pool.drain pool
+      end
+    end
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
 
 let fold ?jobs ?(chunk = 16) ~map:fm ~combine ~init items =
   let chunk = Stdlib.max 1 chunk in

@@ -208,6 +208,57 @@ let test_compare_kernels () =
        (Regression.compare_reports ~baseline:(bench ~ns:100.)
           ~current:report_only ()))
 
+(* Both report schema versions flow through the same gate: v1 (plain
+   `predlab stats` output, no "status" fields) and v2 (supervised). *)
+let test_compare_versions () =
+  let doc ?version exps =
+    Json.Obj
+      ((match version with
+        | Some v -> [ ("version", Json.Int v) ]
+        | None -> [])
+       @ [ ("experiments", Json.List exps) ])
+  in
+  let exp ?(extra = []) id =
+    Json.Obj
+      ([ ("id", Json.String id) ] @ extra
+       @ [ ("checks", Json.List []); ("wall_s", Json.Float 0.001) ])
+  in
+  Alcotest.(check int) "v1 baseline vs completed v2 current passes" 0
+    (List.length
+       (Regression.compare_reports
+          ~baseline:(doc ~version:1 [ exp "A" ])
+          ~current:
+            (doc ~version:2
+               [ exp ~extra:[ ("status", Json.String "completed") ] "A" ])
+          ()));
+  (* A v2 experiment that crashed while its (v1, implicitly completed)
+     baseline counterpart finished is a check regression even though it
+     had no checks to lose. *)
+  (match
+     Regression.compare_reports ~baseline:(doc [ exp "A" ])
+       ~current:
+         (doc ~version:2
+            [ exp
+                ~extra:
+                  [ ("status", Json.String "crashed");
+                    ("error", Json.String "boom") ]
+                "A" ])
+       ()
+   with
+   | [ { Regression.kind = Regression.Check_regression; subject = "A";
+         detail } ] ->
+     Alcotest.(check bool) "detail names the error" true
+       (String.length detail > 0)
+   | findings ->
+     Alcotest.failf "expected one status regression, got: %s"
+       (String.concat "; " (List.map Regression.finding_string findings)));
+  (* Unknown versions are schema findings before anything is compared. *)
+  Alcotest.(check bool) "version 3 rejected" true
+    (kinds
+       (Regression.compare_reports ~baseline:(doc ~version:3 [])
+          ~current:(doc []) ())
+     = [ Regression.Schema ])
+
 let test_compare_schema_errors () =
   Alcotest.(check bool) "baseline without experiments is a schema finding"
     true
@@ -245,5 +296,7 @@ let () =
            test_compare_noise_floor;
          Alcotest.test_case "kernel section gated when present" `Quick
            test_compare_kernels;
+         Alcotest.test_case "v1 and v2 schemas both accepted" `Quick
+           test_compare_versions;
          Alcotest.test_case "schema errors and bad tolerance" `Quick
            test_compare_schema_errors ]) ]

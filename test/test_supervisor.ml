@@ -1,0 +1,456 @@
+(* Tests for the fault-tolerant supervision layer: the Faults injection
+   plane, Parallel per-task isolation / cooperative deadlines / pool
+   degradation, the Experiments supervisor (classification, retries,
+   journal/resume round trip) and seeded chaos campaigns asserting
+   graceful degradation. *)
+
+module Faults = Prelude.Faults
+module Parallel = Prelude.Parallel
+module Report = Predictability.Report
+module Experiments = Predictability.Experiments
+module Journal = Predictability.Journal
+module Chaos = Predictability.Chaos
+
+let with_faults sites f =
+  Faults.arm sites;
+  Fun.protect ~finally:Faults.disarm f
+
+(* --- Faults ------------------------------------------------------------- *)
+
+let test_point_disarmed () =
+  Faults.disarm ();
+  Alcotest.(check bool) "disarmed" false (Faults.armed ());
+  Faults.point "experiment:EQ4" (* must be a no-op, not an error *)
+
+let test_point_window () =
+  (* skip 1, fires 2: arrivals 0 and 3+ pass, 1 and 2 raise. *)
+  with_faults [ Faults.site ~skip:1 ~fires:2 "w" Faults.Raise ] (fun () ->
+      let fired n =
+        match Faults.point "w" with
+        | () -> false
+        | exception Faults.Injected "w" -> true
+        | exception _ -> Alcotest.failf "unexpected exception at arrival %d" n
+      in
+      Alcotest.(check (list bool)) "skip/fires window"
+        [ false; true; true; false; false ]
+        (List.init 5 fired))
+
+let test_parse_spec () =
+  (match Faults.parse_spec "experiment:EQ4=raise" with
+   | Ok { Faults.name = "experiment:EQ4"; action = Faults.Raise;
+          skip = 0; fires = 1 } -> ()
+   | Ok s -> Alcotest.failf "unexpected site %s" (Faults.describe s)
+   | Error e -> Alcotest.fail e);
+  (match Faults.parse_spec "parallel.spawn=delay:2.5" with
+   | Ok { Faults.action = Faults.Delay d; _ } ->
+     Alcotest.(check (float 1e-9)) "2.5 ms" 0.0025 d
+   | _ -> Alcotest.fail "delay spec rejected");
+  (match Faults.parse_spec "x=timeout" with
+   | Ok { Faults.action = Faults.Timeout; _ } -> ()
+   | _ -> Alcotest.fail "timeout spec rejected");
+  List.iter
+    (fun bad ->
+       match Faults.parse_spec bad with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "accepted malformed spec %S" bad)
+    [ "no-equals"; "=raise"; "x=explode"; "x=delay:xs"; "x=delay:-1" ]
+
+let test_campaign_deterministic () =
+  let names = List.init 40 (fun i -> Printf.sprintf "experiment:X%d" i) in
+  let plan seed = List.map Faults.describe (Faults.campaign ~seed names) in
+  Alcotest.(check (list string)) "same seed, same plan" (plan 7) (plan 7);
+  (* 40 sites at ~40% arm rate: two seeds agreeing everywhere would be
+     astronomically unlucky; treat it as a broken hash. *)
+  Alcotest.(check bool) "different seeds differ" false (plan 7 = plan 8)
+
+(* --- Parallel isolation, deadlines, degradation ------------------------- *)
+
+let test_map_result_isolation () =
+  let results =
+    Parallel.map_result ~jobs:4
+      (fun x -> if x mod 10 = 3 then failwith ("boom " ^ string_of_int x)
+        else x * 2)
+      (List.init 40 Fun.id)
+  in
+  Alcotest.(check int) "one result per input" 40 (List.length results);
+  List.iteri
+    (fun i result ->
+       match result with
+       | Ok v -> Alcotest.(check int) (Printf.sprintf "ok at %d" i) (2 * i) v
+       | Error { Parallel.index; exn = Failure m; _ } ->
+         Alcotest.(check bool) (Printf.sprintf "failure at %d" i) true
+           (i mod 10 = 3 && index = i && m = "boom " ^ string_of_int i)
+       | Error _ -> Alcotest.failf "unexpected error shape at %d" i)
+    results
+
+let test_map_result_fault_site () =
+  (* "parallel.task" fires on the first task; exactly one Error, the other
+     tasks are unaffected. Sequential jobs:1 makes "first" deterministic. *)
+  with_faults [ Faults.site "parallel.task" Faults.Raise ] (fun () ->
+      match Parallel.map_result ~jobs:1 Fun.id [ 10; 20; 30 ] with
+      | [ Error { Parallel.index = 0; exn = Faults.Injected "parallel.task"; _ };
+          Ok 20; Ok 30 ] -> ()
+      | _ -> Alcotest.fail "expected injected failure on task 0 only")
+
+let test_deadline_checkpoint () =
+  (* The inner Parallel loop hits check_deadline between elements, so a
+     deadlined task overruns at a checkpoint even though it never returns
+     on its own. The spin makes each element ~1ms of work. *)
+  let spin_ms x =
+    let t0 = Prelude.Instrument.now () in
+    while Prelude.Instrument.now () -. t0 < 0.001 do ignore (Sys.opaque_identity x) done;
+    x
+  in
+  let results =
+    Parallel.map_result ~jobs:2 ~deadline_s:0.02
+      (fun heavy ->
+         if heavy then List.length (Parallel.map spin_ms (List.init 200 Fun.id))
+         else 0)
+      [ false; true; false ]
+  in
+  (match results with
+   | [ Ok 0; Error { Parallel.exn = Parallel.Deadline_exceeded o; index = 1; _ };
+       Ok 0 ] ->
+     Alcotest.(check bool) "overran its budget" true (o.elapsed_s > o.deadline_s)
+   | _ -> Alcotest.fail "expected only the heavy task to time out");
+  (* Post-hoc detection: a task that blows the budget without checkpoints
+     is still classified when it returns. *)
+  let spin () =
+    let t0 = Prelude.Instrument.now () in
+    while Prelude.Instrument.now () -. t0 < 0.03 do () done
+  in
+  match Parallel.map_result ~jobs:1 ~deadline_s:0.01 spin [ () ] with
+  | [ Error { Parallel.exn = Parallel.Deadline_exceeded _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected post-hoc deadline classification"
+
+let test_with_deadline_nested () =
+  Alcotest.check_raises "invalid deadline"
+    (Invalid_argument "Parallel.with_deadline: deadline must be > 0")
+    (fun () -> Parallel.with_deadline ~deadline_s:0. Fun.id);
+  (* The outer generous budget must be restored after the inner one. *)
+  let v =
+    Parallel.with_deadline ~deadline_s:10. (fun () ->
+        (match
+           Parallel.with_deadline ~deadline_s:0.005 (fun () ->
+               let t0 = Prelude.Instrument.now () in
+               while Prelude.Instrument.now () -. t0 < 0.01 do () done)
+         with
+         | () -> Alcotest.fail "inner overrun undetected"
+         | exception Parallel.Deadline_exceeded _ -> ());
+        Parallel.check_deadline ();
+        42)
+  in
+  Alcotest.(check int) "outer deadline survives" 42 v
+
+let test_spawn_degradation () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map succ xs in
+  (* Every spawn fails: the pool degrades to inline execution. *)
+  with_faults [ Faults.site ~fires:(-1) "parallel.spawn" Faults.Raise ]
+    (fun () ->
+       Alcotest.(check (list int)) "all spawns fail -> sequential" expected
+         (Parallel.map ~jobs:4 succ xs));
+  (* Only the third spawn fails: the pool runs at the achieved width. *)
+  with_faults [ Faults.site ~skip:2 "parallel.spawn" Faults.Raise ]
+    (fun () ->
+       Alcotest.(check (list int)) "partial spawn failure -> degraded pool"
+         expected
+         (Parallel.map ~jobs:4 succ xs));
+  Alcotest.(check (list int)) "disarmed map unaffected" expected
+    (Parallel.map ~jobs:4 succ xs)
+
+let test_multiple_failures_surfaced () =
+  (* Four single-element slices; every task waits for all four to be
+     running, then raises — so all four failures are recorded and none may
+     be silently discarded. *)
+  let started = Atomic.make 0 in
+  let task i =
+    Atomic.incr started;
+    while Atomic.get started < 4 do Domain.cpu_relax () done;
+    failwith (string_of_int i)
+  in
+  match Parallel.map ~jobs:4 task [ 0; 1; 2; 3 ] with
+  | _ -> Alcotest.fail "map of raising tasks returned"
+  | exception Parallel.Multiple_failures { count = 4; first = Failure _ } -> ()
+  | exception Parallel.Multiple_failures { count; _ } ->
+    Alcotest.failf "expected 4 collected failures, got %d" count
+  | exception Failure _ ->
+    Alcotest.fail "concurrent failures collapsed to a single exception"
+
+(* --- The experiment supervisor ------------------------------------------ *)
+
+let ok_outcome id =
+  { Report.id; title = "synthetic " ^ id; body = "";
+    checks = [ Report.check "always" true ] }
+
+let entry ?runner id =
+  let runner =
+    match runner with Some r -> r | None -> (fun () -> ok_outcome id)
+  in
+  (id, "synthetic " ^ id, runner)
+
+let statuses sups = List.map (fun s -> s.Experiments.s_status) sups
+let ids sups = List.map (fun s -> s.Experiments.s_id) sups
+
+let test_supervised_classification () =
+  let entries =
+    [ entry "A";
+      entry "B" ~runner:(fun () -> failwith "kaboom");
+      entry "C";
+      entry "D" ~runner:(fun () -> raise (Faults.Forced_timeout "x"));
+      entry "E" ]
+  in
+  let sups = Experiments.run_supervised ~jobs:4 ~entries () in
+  Alcotest.(check (list string)) "one record per entry, in order"
+    [ "A"; "B"; "C"; "D"; "E" ] (ids sups);
+  (match statuses sups with
+   | [ Report.Completed; Report.Crashed { error }; Report.Completed;
+       Report.Timed_out _; Report.Completed ] ->
+     Alcotest.(check bool) "error names the exception" true
+       (String.length error > 0)
+   | _ -> Alcotest.fail "unexpected classification");
+  Alcotest.(check int) "two failures" 2
+    (List.length (Experiments.supervised_failures sups));
+  Alcotest.(check int) "no check failures" 0
+    (List.length (Experiments.supervised_check_failures sups))
+
+let test_supervised_retry_recovers () =
+  (* The supervisor passes each attempt through "experiment:<id>"; a
+     fire-once fault there crashes attempt 1 and lets attempt 2 through. *)
+  with_faults [ Faults.site "experiment:A" Faults.Raise ] (fun () ->
+      let sups =
+        Experiments.run_supervised ~jobs:1
+          ~supervision:
+            { Experiments.default_supervision with
+              retries = 1; backoff_s = 0.001 }
+          ~entries:[ entry "A"; entry "B" ] ()
+      in
+      match sups with
+      | [ { Experiments.s_status = Report.Completed; s_attempts = 2; _ };
+          { Experiments.s_status = Report.Completed; s_attempts = 1; _ } ] ->
+        ()
+      | _ -> Alcotest.fail "expected A recovered on attempt 2, B untouched")
+
+let test_supervised_exhausted_retries () =
+  with_faults [ Faults.site ~fires:(-1) "experiment:A" Faults.Raise ]
+    (fun () ->
+       match
+         Experiments.run_supervised ~jobs:1
+           ~supervision:
+             { Experiments.default_supervision with
+               retries = 2; backoff_s = 0.001 }
+           ~entries:[ entry "A" ] ()
+       with
+       | [ { Experiments.s_status = Report.Crashed _; s_attempts = 3; _ } ] ->
+         ()
+       | _ -> Alcotest.fail "expected crash after 3 attempts")
+
+let test_supervised_deadline () =
+  let spin () =
+    let t0 = Prelude.Instrument.now () in
+    while Prelude.Instrument.now () -. t0 < 0.03 do () done;
+    ok_outcome "slow"
+  in
+  match
+    Experiments.run_supervised ~jobs:1
+      ~supervision:
+        { Experiments.default_supervision with deadline_s = Some 0.005 }
+      ~entries:[ entry "slow" ~runner:spin; entry "fast" ] ()
+  with
+  | [ { Experiments.s_status = Report.Timed_out { after_s }; _ };
+      { Experiments.s_status = Report.Completed; _ } ] ->
+    Alcotest.(check bool) "overrun recorded" true (after_s > 0.005)
+  | _ -> Alcotest.fail "expected slow timed out, fast completed"
+
+let test_supervised_real_registry_subset () =
+  (* Real experiments under injection: EQ4 crashed, the others finish. *)
+  let entries =
+    List.map
+      (fun id ->
+         match Experiments.lookup id with
+         | Ok e -> e
+         | Error m -> Alcotest.fail m)
+      [ "FIG1"; "EQ4"; "RW.DYN" ]
+  in
+  with_faults [ Faults.site "experiment:EQ4" Faults.Raise ] (fun () ->
+      let sups = Experiments.run_supervised ~jobs:2 ~entries () in
+      Alcotest.(check (list string)) "order" [ "FIG1"; "EQ4"; "RW.DYN" ]
+        (ids sups);
+      match statuses sups with
+      | [ Report.Completed; Report.Crashed _; Report.Completed ] ->
+        Alcotest.(check int) "others pass their checks" 1
+          (List.length (Experiments.supervised_failures sups))
+      | _ -> Alcotest.fail "expected only EQ4 crashed")
+
+(* --- Journal / resume ---------------------------------------------------- *)
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let logical sups =
+  List.map
+    (fun s ->
+       (s.Experiments.s_id, s.Experiments.s_status,
+        match s.Experiments.s_outcome with
+        | Some o -> o.Report.checks
+        | None -> []))
+    sups
+
+let test_journal_resume_round_trip () =
+  let path = Filename.temp_file "predlab_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sys.remove path;
+  let runs = Array.make 5 0 in
+  let entries =
+    List.init 5 (fun i ->
+        let id = Printf.sprintf "J%d" i in
+        entry id ~runner:(fun () ->
+            runs.(i) <- runs.(i) + 1;
+            ok_outcome id))
+  in
+  let full = Experiments.run_supervised ~jobs:2 ~journal:path ~entries () in
+  Alcotest.(check int) "five journal lines" 5 (List.length (read_lines path));
+  (* Simulate a crash after two experiments: truncate the journal to its
+     first two lines plus a torn third — then resume. *)
+  let lines = read_lines path in
+  write_file path
+    (String.concat "\n" [ List.nth lines 0; List.nth lines 1;
+                          "{\"schema\":\"predlab/jour" ]);
+  let resumed =
+    Experiments.run_supervised ~jobs:2 ~journal:path ~resume:true ~entries ()
+  in
+  Alcotest.(check bool) "same logical report" true
+    (logical full = logical resumed);
+  let kept_ids =
+    List.filter_map
+      (fun s ->
+         if s.Experiments.s_resumed then Some s.Experiments.s_id else None)
+      resumed
+  in
+  Alcotest.(check int) "two resumed from the truncated journal" 2
+    (List.length kept_ids);
+  List.iteri
+    (fun i s ->
+       let expected = if List.mem s.Experiments.s_id kept_ids then 1 else 2 in
+       Alcotest.(check int)
+         (Printf.sprintf "runner %d invocations" i) expected runs.(i))
+    resumed;
+  Alcotest.(check int) "resume appended only the re-run experiments" 5
+    (List.length (read_lines path))
+
+let test_journal_crash_line_reruns () =
+  let path = Filename.temp_file "predlab_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sys.remove path;
+  with_faults [ Faults.site "experiment:B" Faults.Raise ] (fun () ->
+      match
+        Experiments.run_supervised ~jobs:1 ~journal:path
+          ~entries:[ entry "A"; entry "B" ] ()
+      with
+      | [ _; { Experiments.s_status = Report.Crashed _; _ } ] -> ()
+      | _ -> Alcotest.fail "expected B crashed");
+  (* Resume with the fault gone: A is skipped, the crashed B re-runs. *)
+  let reran = Atomic.make 0 in
+  let entries =
+    [ entry "A" ~runner:(fun () -> Atomic.incr reran; ok_outcome "A");
+      entry "B" ~runner:(fun () -> Atomic.incr reran; ok_outcome "B") ]
+  in
+  (match
+     Experiments.run_supervised ~jobs:1 ~journal:path ~resume:true ~entries ()
+   with
+   | [ { Experiments.s_resumed = true; _ };
+       { Experiments.s_status = Report.Completed; s_resumed = false; _ } ] ->
+     ()
+   | _ -> Alcotest.fail "expected A resumed, B re-run to completion");
+  Alcotest.(check int) "only B re-ran" 1 (Atomic.get reran)
+
+let test_journal_load_errors () =
+  (match Journal.load "/nonexistent/predlab.jsonl" with
+   | Ok [] -> ()
+   | _ -> Alcotest.fail "missing journal should load as empty");
+  let path = Filename.temp_file "predlab_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_file path "{\"id\":\"A\",\"title\":\"t\",\"status\":\"completed\"}\nnot json\n{\"id\":\"B\",\"title\":\"t\"}\n";
+  match Journal.load path with
+  | Error message ->
+    Alcotest.(check bool) "names the line" true
+      (String.length message > 0)
+  | Ok _ -> Alcotest.fail "mid-file corruption must be a hard error"
+
+(* --- Chaos campaigns ----------------------------------------------------- *)
+
+let chaos_entries =
+  List.init 8 (fun i -> entry (Printf.sprintf "C%d" i))
+
+let prop_chaos_graceful =
+  QCheck.Test.make ~name:"chaos campaigns degrade gracefully" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+       let verdict = Chaos.run ~jobs:4 ~entries:chaos_entries ~seed () in
+       verdict.Chaos.violations = []
+       && List.length verdict.Chaos.persistent = 8
+       && List.length verdict.Chaos.transient = 8)
+
+let test_chaos_plan_nonempty_somewhere () =
+  (* The campaign generator must actually inject over a seed range —
+     a chaos harness that never arms anything asserts nothing. *)
+  let armed =
+    List.exists
+      (fun seed ->
+         Faults.campaign ~seed
+           (List.map (fun (id, _, _) -> "experiment:" ^ id) chaos_entries)
+         <> [])
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check bool) "some seed arms some site" true armed
+
+let () =
+  Alcotest.run "supervisor"
+    [ ("faults",
+       [ Alcotest.test_case "disarmed point is a no-op" `Quick
+           test_point_disarmed;
+         Alcotest.test_case "skip/fires window" `Quick test_point_window;
+         Alcotest.test_case "--inject spec parsing" `Quick test_parse_spec;
+         Alcotest.test_case "campaigns are seed-deterministic" `Quick
+           test_campaign_deterministic ]);
+      ("parallel",
+       [ Alcotest.test_case "map_result isolates failures" `Quick
+           test_map_result_isolation;
+         Alcotest.test_case "parallel.task fault site" `Quick
+           test_map_result_fault_site;
+         Alcotest.test_case "deadline at checkpoints and post-hoc" `Quick
+           test_deadline_checkpoint;
+         Alcotest.test_case "with_deadline nests and restores" `Quick
+           test_with_deadline_nested;
+         Alcotest.test_case "pool degrades on spawn failure" `Quick
+           test_spawn_degradation;
+         Alcotest.test_case "concurrent failures all surfaced" `Quick
+           test_multiple_failures_surfaced ]);
+      ("supervisor",
+       [ Alcotest.test_case "crash/timeout classification" `Quick
+           test_supervised_classification;
+         Alcotest.test_case "retry recovers a transient fault" `Quick
+           test_supervised_retry_recovers;
+         Alcotest.test_case "retries exhaust to crashed" `Quick
+           test_supervised_exhausted_retries;
+         Alcotest.test_case "deadline classifies as timed_out" `Quick
+           test_supervised_deadline;
+         Alcotest.test_case "real registry subset under injection" `Slow
+           test_supervised_real_registry_subset ]);
+      ("journal",
+       [ Alcotest.test_case "crash/resume round trip" `Quick
+           test_journal_resume_round_trip;
+         Alcotest.test_case "crashed entries re-run on resume" `Quick
+           test_journal_crash_line_reruns;
+         Alcotest.test_case "load: missing ok, corrupt fatal" `Quick
+           test_journal_load_errors ]);
+      ("chaos",
+       [ QCheck_alcotest.to_alcotest prop_chaos_graceful;
+         Alcotest.test_case "campaigns arm sites across seeds" `Quick
+           test_chaos_plan_nonempty_somewhere ]) ]
