@@ -30,6 +30,12 @@ let fig1_fixture =
   let input = match w.Isa.Workload.inputs with i :: _ -> i | [] -> assert false in
   (program, state, input)
 
+(* One shared fast-path engine: the benchmark measures the steady state
+   (compiled trace + warm memo), which is what a Q*I sweep amortises to. *)
+let fig1_fast_fixture =
+  let program, _, _ = fig1_fixture in
+  Fastpath.Engine.create program
+
 let branch_fixture =
   let w = Isa.Workload.branchy ~n:16 in
   let program, _ = Isa.Workload.program w in
@@ -112,9 +118,29 @@ let wcet_config =
     dmem = Analysis.Wcet.Range_data { best = 1; worst = 8 };
     unroll = true; budget = None }
 
-let tests =
-  let stage name f = Test.make ~name (Staged.stage f) in
-  [ stage "FIG1/inorder_T(q,i)" (fun () ->
+(* Each kernel records its evaluation engine ("exact" | "fast") and the
+   worker-domain count its closure uses — both land in the per-kernel JSON
+   (schema v2), so trajectory points are comparable like for like. Kernels
+   that fan out on the default pool record the bench-wide [jobs]; everything
+   else runs on the calling domain (jobs = 1). The three fast kernels keep
+   the historical names — `predlab compare` then reports their speedup
+   against the exact baseline — with `_exact` twins pinning the old path. *)
+type kernel_spec = {
+  k_name : string;
+  k_engine : string;
+  k_jobs : int;
+  k_test : Test.t;
+}
+
+let kernel_specs jobs =
+  let stage ?(engine = "exact") ?(kjobs = 1) name f =
+    { k_name = "predlab/" ^ name; k_engine = engine; k_jobs = kjobs;
+      k_test = Test.make ~name (Staged.stage f) }
+  in
+  [ stage ~engine:"fast" "FIG1/inorder_T(q,i)" (fun () ->
+        let _, state, input = fig1_fixture in
+        Fastpath.Engine.time fig1_fast_fixture state input);
+    stage "FIG1/inorder_T(q,i)_exact" (fun () ->
         let program, state, input = fig1_fixture in
         Pipeline.Inorder.time program state input);
     stage "EQ4/domino_kernel_n32" (fun () ->
@@ -179,7 +205,10 @@ let tests =
         Dram.Controller.refresh_windows config ~horizon:100000);
     stage "TAB2.R6/singlepath_transform" (fun () ->
         Singlepath.Transform.transform singlepath_fixture);
-    stage "RW.CACHE/evict_lru4" (fun () ->
+    stage ~engine:"fast" "RW.CACHE/evict_lru4" (fun () ->
+        Predictability.Cache_metrics.evict ~engine:`Fast Cache.Policy.Lru
+          ~ways:4 ~max_probes:6);
+    stage ~kjobs:jobs "RW.CACHE/evict_lru4_exact" (fun () ->
         Predictability.Cache_metrics.evict Cache.Policy.Lru ~ways:4 ~max_probes:6);
     stage "RW.DYN/width_profile" (fun () ->
         Predictability.Dynamical.width_profile
@@ -195,10 +224,15 @@ let tests =
           [ Predictability.Composition.component ~label:"a" ~bcet:70 ~wcet:124;
             Predictability.Composition.component ~label:"b" ~bcet:88 ~wcet:142;
             Predictability.Composition.component ~label:"c" ~bcet:124 ~wcet:152 ]);
-    stage "EXT.EXTENT/profile" (fun () ->
+    stage ~engine:"fast" "EXT.EXTENT/profile" (fun () ->
+        Predictability.Extent.profile ~engine:`Fast ~states:[ 0; 1; 2 ]
+          ~inputs:[ 0; 1; 2; 3 ]
+          ~time:(fun q i -> 10 + q + (2 * i))
+          ~cuts:[ ("a", 1, 1); ("b", 2, 2); ("c", 3, 4) ] ());
+    stage ~kjobs:jobs "EXT.EXTENT/profile_exact" (fun () ->
         Predictability.Extent.profile ~states:[ 0; 1; 2 ] ~inputs:[ 0; 1; 2; 3 ]
           ~time:(fun q i -> 10 + q + (2 * i))
-          ~cuts:[ ("a", 1, 1); ("b", 2, 2); ("c", 3, 4) ]);
+          ~cuts:[ ("a", 1, 1); ("b", 2, 2); ("c", 3, 4) ] ());
     stage "EXT.SCHED/fp_hyperperiod" (fun () ->
         Sched.Fixed_priority.responses
           [ Sched.Task.make ~name:"hi" ~period:20 ~bcet:2 ~wcet:6 ~priority:0;
@@ -217,8 +251,9 @@ let tests =
         Analysis.Wcet.bound { wcet_config with Analysis.Wcet.budget = Some 1 }
           Analysis.Wcet.Upper ~shapes:wcet_fixture ~entry:"main") ]
 
-let run_microbenchmarks () =
+let run_microbenchmarks jobs =
   print_endline "--- Part 2: Bechamel microbenchmarks (ns per run) ---";
+  let specs = kernel_specs jobs in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -227,29 +262,35 @@ let run_microbenchmarks () =
     Benchmark.cfg ~limit:300 ~quota:(Time.second 0.2) ~kde:None
       ~stabilize:false ()
   in
-  let grouped = Test.make_grouped ~name:"predlab" tests in
+  let grouped =
+    Test.make_grouped ~name:"predlab" (List.map (fun k -> k.k_test) specs)
+  in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
   let kernels =
     List.map
-      (fun (name, ols_result) ->
+      (fun spec ->
          let estimate =
-           match Analyze.OLS.estimates ols_result with
-           | Some (v :: _) -> Some v
-           | Some [] | None -> None
+           match List.assoc_opt spec.k_name rows with
+           | Some ols_result -> (
+               match Analyze.OLS.estimates ols_result with
+               | Some (v :: _) -> Some v
+               | Some [] | None -> None)
+           | None -> None
          in
-         (name, estimate))
-      (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows)
+         (spec, estimate))
+      (List.sort (fun a b -> Stdlib.compare a.k_name b.k_name) specs)
   in
   List.iter
-    (fun (name, estimate) ->
+    (fun (spec, estimate) ->
        let text =
          match estimate with
          | Some v -> Printf.sprintf "%12.1f" v
          | None -> "      (n/a)"
        in
-       Printf.printf "%-40s %s ns/run\n" name text)
+       Printf.printf "%-44s %s ns/run  [%s, jobs=%d]\n" spec.k_name text
+         spec.k_engine spec.k_jobs)
     kernels;
   kernels
 
@@ -311,18 +352,22 @@ let speedup_to_json s =
        else Prelude.Json.Null);
       ("bit_identical", Prelude.Json.Bool s.bit_identical) ]
 
-let kernel_to_json (name, estimate) =
+let kernel_to_json (spec, estimate) =
   Prelude.Json.Obj
-    [ ("name", Prelude.Json.String name);
+    [ ("name", Prelude.Json.String spec.k_name);
+      ("engine", Prelude.Json.String spec.k_engine);
+      ("jobs", Prelude.Json.Int spec.k_jobs);
       ("ns_per_run",
        match estimate with
        | Some ns -> Prelude.Json.Float ns
        | None -> Prelude.Json.Null) ]
 
+(* Schema v2 (v1 + per-kernel "engine"/"jobs"); `predlab compare` accepts
+   both, so v2 trajectory points still diff against the v1 baseline. *)
 let bench_json ~jobs ~elapsed_s ~results ~speedups ~kernels =
   Prelude.Json.Obj
     [ ("schema", Prelude.Json.String "predlab/bench");
-      ("version", Prelude.Json.Int 1);
+      ("version", Prelude.Json.Int 2);
       ("jobs", Prelude.Json.Int jobs);
       ("elapsed_s", Prelude.Json.Float elapsed_s);
       ("wall_sum_s",
@@ -376,7 +421,24 @@ let () =
     (List.length results);
   let speedups = run_speedup_suite jobs in
   print_newline ();
-  let kernels = run_microbenchmarks () in
+  let kernels = run_microbenchmarks jobs in
+  (* Fast-engine gate: benchmarking with the fast path is only meaningful
+     while the FIG1.FAST equivalence oracle holds — a fast kernel without a
+     passing oracle in the same run is an unvalidated number. *)
+  let fast_gate_ok =
+    (not (List.exists (fun (spec, _) -> spec.k_engine = "fast") kernels))
+    || List.exists
+         (fun r ->
+            r.Predictability.Experiments.outcome.Predictability.Report.id
+            = "FIG1.FAST"
+            && Predictability.Report.all_passed
+                 r.Predictability.Experiments.outcome)
+         results
+  in
+  if not fast_gate_ok then
+    prerr_endline
+      "bench: fast-engine kernels present but FIG1.FAST is absent or \
+       failing in this run";
   (match json_file with
    | None -> ()
    | Some path ->
@@ -385,4 +447,4 @@ let () =
      Out_channel.with_open_text path (fun oc ->
          Out_channel.output_string oc (Prelude.Json.to_string_pretty doc));
      Printf.printf "wrote %s\n" path);
-  if failed <> [] then exit 1
+  if failed <> [] || not fast_gate_ok then exit 1

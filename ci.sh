@@ -24,6 +24,22 @@ fi
 dune exec bin/predlab.exe -- stats --jobs 2 --format json > _build/current.json
 dune exec bin/predlab.exe -- compare BENCH_0.json _build/current.json --tolerance 400
 
+# Fast-path trajectory gate. BENCH_1.json is the committed trajectory point
+# recorded after the fast engine landed (bench/main.exe --json BENCH_1.json).
+# Comparing it against BENCH_0.json tracks the speedup trajectory: timings
+# are non-gating at this tolerance (the fast kernels are strictly faster and
+# compare only flags slowdowns), but any check regression gates hard. The
+# bench binary itself refuses to emit a report with fast kernels unless
+# FIG1.FAST passes; re-assert the presence half of that gate here so a
+# hand-edited or stale BENCH_1.json cannot slip through.
+dune exec bin/predlab.exe -- compare BENCH_0.json BENCH_1.json --tolerance 400
+if grep -q '"engine": "fast"' BENCH_1.json; then
+  if ! grep -q '"id": "FIG1.FAST"' BENCH_1.json; then
+    echo "fast-engine kernels present but the FIG1.FAST oracle is absent" >&2
+    exit 1
+  fi
+fi
+
 # Supervision gates. A fault injected into one experiment must not take the
 # run down: the other experiments complete, the failure is classified in the
 # v2 JSON report, and the exit code is the documented 3.

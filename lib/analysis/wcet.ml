@@ -205,19 +205,25 @@ let bound config kind ~shapes ~entry =
   let total, st = walk [ entry ] { cache = initial_cache; obs = [] } entry_shape in
   { bound = total; observations = List.rev st.obs }
 
-let bracket ?jobs ~upper ~lower ~shapes ~entry () =
+let bracket ?jobs ?(engine = `Exact) ~upper ~lower ~shapes ~entry () =
   (* The two bound computations share nothing mutable, so run them on the
-     domain pool; result order is fixed by the task list, not scheduling. *)
-  match
-    Prelude.Parallel.map ?jobs
-      (fun kind ->
-         match kind with
-         | Upper -> bound upper Upper ~shapes ~entry
-         | Lower -> bound lower Lower ~shapes ~entry)
-      [ Upper; Lower ]
-  with
-  | [ ub; lb ] -> (ub, lb)
-  | _ -> assert false
+     domain pool; result order is fixed by the task list, not scheduling.
+     Both walks usually finish in microseconds, so under [`Fast] they stay
+     on the calling domain where the pool's spawn would dominate. *)
+  match engine with
+  | `Fast ->
+    (bound upper Upper ~shapes ~entry, bound lower Lower ~shapes ~entry)
+  | `Exact ->
+    (match
+       Prelude.Parallel.map ?jobs
+         (fun kind ->
+            match kind with
+            | Upper -> bound upper Upper ~shapes ~entry
+            | Lower -> bound lower Lower ~shapes ~entry)
+         [ Upper; Lower ]
+     with
+     | [ ub; lb ] -> (ub, lb)
+     | _ -> assert false)
 
 let classified_fraction result =
   match result.observations with

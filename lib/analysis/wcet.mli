@@ -55,12 +55,15 @@ val bound :
   entry:string -> result
 
 val bracket :
-  ?jobs:int -> upper:config -> lower:config ->
+  ?jobs:int -> ?engine:[ `Exact | `Fast ] -> upper:config -> lower:config ->
   shapes:(string * Isa.Ast.shape) list -> entry:string -> unit ->
   result * result
 (** [(upper_result, lower_result)]: the UB and LB walks evaluated
     concurrently on the {!Prelude.Parallel} pool (they are independent).
-    Identical to two sequential {!bound} calls for any job count. *)
+    Identical to two sequential {!bound} calls for any job count. Under
+    [`Fast] (default [`Exact]) both walks run inline on the calling domain
+    — the right choice when each walk is far cheaper than a pool spawn —
+    with bit-identical results. *)
 
 val classified_fraction : result -> float option
 (** Fraction of fetch observations classified AH or AM, or [None] when

@@ -104,6 +104,78 @@ let initial_states t =
     in
     List.map remake [ 0; 1; 0x51ed; 0xbeef; 0x1234 ]
 
+let is_static = function Static _ -> true | Dynamic _ -> false
+
+let static_scheme_of = function Static s -> Some s | Dynamic _ -> None
+
+(* --- Mutable replay ------------------------------------------------------ *)
+
+(* [update] copies the counter table on every trained branch; a replay
+   mutates one working copy in place. Static schemes carry no state, so
+   their replay is the predictor itself. *)
+type replay =
+  | Rstatic of t
+  | Rdyn of {
+      kind : dynamic_kind;
+      rtable : int array;
+      mutable rhistory : int;
+      threshold : int;
+      max_counter : int;
+    }
+
+let replay t =
+  match t with
+  | Static _ -> Rstatic t
+  | Dynamic { kind; table; history } ->
+    let threshold, max_counter =
+      match kind with One_bit -> (1, 1) | Two_bit | Gshare _ -> (2, 3)
+    in
+    Rdyn { kind; rtable = Array.copy table; rhistory = history;
+           threshold; max_counter }
+
+let replay_copy = function
+  | Rstatic _ as r -> r
+  | Rdyn d -> Rdyn { d with rtable = Array.copy d.rtable }
+
+let replay_reset ~dst ~src =
+  match dst, src with
+  | Rstatic _, Rstatic _ -> ()
+  | Rdyn d, Rdyn s ->
+    Array.blit s.rtable 0 d.rtable 0 (Array.length s.rtable);
+    d.rhistory <- s.rhistory
+  | (Rstatic _ | Rdyn _), _ ->
+    invalid_arg "Predictor.replay_reset: mismatched replay kinds"
+
+let replay_correct r event =
+  match r with
+  | Rstatic p -> predict p event = event.taken
+  | Rdyn d ->
+    let idx = table_index d.kind d.rtable d.rhistory event.pc in
+    let predicted = d.rtable.(idx) >= d.threshold in
+    let v = d.rtable.(idx) in
+    d.rtable.(idx) <-
+      (if event.taken then Stdlib.min d.max_counter (v + 1)
+       else Stdlib.max 0 (v - 1));
+    d.rhistory <- (d.rhistory lsl 1) lor (if event.taken then 1 else 0);
+    predicted = event.taken
+
+(* Canonical integer encoding of the full predictor state, for memo keys.
+   Injective across schemes: the head discriminates static/dynamic and the
+   scheme/kind shape. *)
+let pack = function
+  | Static Always_taken -> [ 0 ]
+  | Static Always_not_taken -> [ 1 ]
+  | Static Btfn -> [ 2 ]
+  | Static (Per_branch dirs) ->
+    3 :: List.concat_map (fun (pc, d) -> [ pc; (if d then 1 else 0) ]) dirs
+  | Dynamic { kind; table; history } ->
+    let kind_code = match kind with
+      | One_bit -> 0
+      | Two_bit -> 1
+      | Gshare bits -> 2 + bits
+    in
+    4 :: kind_code :: history :: Array.to_list table
+
 let wcet_oriented traces =
   let votes = Hashtbl.create 16 in
   let count event =

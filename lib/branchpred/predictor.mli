@@ -53,3 +53,34 @@ val wcet_oriented : branch_event list list -> static_scheme
 (** Derive a Bodin-Puaut-style static assignment from a set of execution
     traces: each branch predicts its majority outcome across all traces,
     minimising the worst-case misprediction count among the given paths. *)
+
+val is_static : t -> bool
+(** Static predictors are stateless: their predictions depend only on the
+    branch event, never on execution history — the fast path's branch-purity
+    criterion. *)
+
+val static_scheme_of : t -> static_scheme option
+
+(** {2 Mutable replay}
+
+    {!update} copies the counter table per trained branch; a replay steps
+    one mutable working copy in place, producing exactly the
+    correct/incorrect sequence of [predict]/[update] — pinned by the test
+    suite. *)
+
+type replay
+
+val replay : t -> replay
+val replay_copy : replay -> replay
+
+val replay_reset : dst:replay -> src:replay -> unit
+(** Overwrite [dst] with [src]'s state without allocating (same scheme
+    shape required). @raise Invalid_argument on mismatched replays. *)
+
+val replay_correct : replay -> branch_event -> bool
+(** Whether the prediction was correct for this event; trains in place. *)
+
+val pack : t -> int list
+(** Canonical integer encoding of the complete predictor state (scheme,
+    table contents, history) — injective; a fast-path memo-key
+    component. *)

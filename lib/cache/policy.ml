@@ -174,6 +174,91 @@ let contents state =
 let equal a b = a = b
 let compare = Stdlib.compare
 
+let kind_ordinal = function
+  | Lru -> 0
+  | Fifo -> 1
+  | Plru -> 2
+  | Mru -> 3
+  | Round_robin -> 4
+
+(* Canonical integer encoding of the complete state: kind, geometry, slot
+   contents in policy order, and the policy metadata that [contents] alone
+   does not carry (MRU bits, PLRU bits, RR pointer). Injective on states,
+   so it can serve both as a memo-table key component and as the source for
+   the fast path's bit-packed replay arrays. Empty slots encode as -1. *)
+let pack state =
+  let slot = function None -> -1 | Some t -> t in
+  let slots = List.map slot (contents state) in
+  let meta =
+    match state with
+    | Slru _ | Sfifo _ -> []
+    | Splru tree ->
+      let rec bits = function
+        | Leaf _ -> []
+        | Node (b, left, right) -> (if b then 1 else 0) :: (bits left @ bits right)
+      in
+      bits tree
+    | Smru ways_list -> List.map (fun (_, b) -> if b then 1 else 0) ways_list
+    | Srr (_, next) -> [ next ]
+  in
+  (kind_ordinal (kind state) :: ways state :: slots) @ meta
+
+(* In-place single-set access on a packed slots segment laid out as [pack]'s
+   slot section: [slots.(base .. base + ways - 1)] holds tags in policy order
+   (LRU MRU-first, FIFO newest-first, RR physical), -1 marking empty slots;
+   [meta.(mbase)] is the RR victim pointer. Tags must be non-negative.
+   Mirrors [access] exactly for the supported kinds — pinned by the test
+   suite; empty (-1) slots sit at the list tail for LRU/FIFO, so a plain
+   shift reproduces the list semantics on non-full sets. *)
+let packed_step kind ~slots ~base ~ways ~meta ~mbase tag =
+  let pos = ref (-1) in
+  (try
+     for k = 0 to ways - 1 do
+       if slots.(base + k) = tag then begin
+         pos := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match kind with
+  | Lru ->
+    (* Hit: rotate the prefix up to the tag's slot; miss: rotate the whole
+       set, dropping the LRU tail. *)
+    let upto = if !pos >= 0 then !pos else ways - 1 in
+    for k = upto downto 1 do
+      slots.(base + k) <- slots.(base + k - 1)
+    done;
+    slots.(base) <- tag;
+    !pos >= 0
+  | Fifo ->
+    if !pos >= 0 then true
+    else begin
+      for k = ways - 1 downto 1 do
+        slots.(base + k) <- slots.(base + k - 1)
+      done;
+      slots.(base) <- tag;
+      false
+    end
+  | Round_robin ->
+    if !pos >= 0 then true
+    else begin
+      let invalid = ref (-1) in
+      for k = ways - 1 downto 0 do
+        if slots.(base + k) = -1 then invalid := k
+      done;
+      if !invalid >= 0 then slots.(base + !invalid) <- tag
+      else begin
+        slots.(base + meta.(mbase)) <- tag;
+        meta.(mbase) <- (meta.(mbase) + 1) mod ways
+      end;
+      false
+    end
+  | Plru | Mru -> invalid_arg "Policy.packed_step: kind has no packed layout"
+
+let packed_kind = function
+  | Lru | Fifo | Round_robin -> true
+  | Plru | Mru -> false
+
 (* All ways-length sequences of pairwise-distinct blocks. *)
 let rec arrangements ways blocks =
   if ways = 0 then [ [] ]

@@ -8,6 +8,8 @@ type kind = Lru | Fifo | Plru | Mru | Round_robin
 
 val all_kinds : kind list
 val kind_name : kind -> string
+val kind_ordinal : kind -> int
+(** Stable small integer per kind, for packed encodings. *)
 
 type state
 
@@ -29,6 +31,25 @@ val contents : state -> int option list
 val equal : state -> state -> bool
 val compare : state -> state -> int
 val pp : Format.formatter -> state -> unit
+
+val pack : state -> int list
+(** Canonical integer encoding of the complete state: kind ordinal, ways,
+    slot tags in policy order ([-1] for empty), then policy metadata (PLRU
+    bits pre-order, MRU bits, RR victim pointer). Injective on states:
+    [pack a = pack b] iff [equal a b]. The fast-path engine uses it both as
+    a memo-key component and to seed bit-packed replay arrays. *)
+
+val packed_kind : kind -> bool
+(** Whether the kind supports {!packed_step} (LRU, FIFO, round-robin). *)
+
+val packed_step :
+  kind -> slots:int array -> base:int -> ways:int ->
+  meta:int array -> mbase:int -> int -> bool
+(** In-place access on one set stored as a packed slots segment
+    ([slots.(base .. base+ways-1)] in policy order, -1 = empty; [meta.(mbase)]
+    is the RR victim pointer, unused otherwise). Produces exactly {!access}'s
+    hit/miss and successor state for non-negative tags.
+    @raise Invalid_argument for kinds without a packed layout. *)
 
 val enumerate_full_states : kind -> ways:int -> blocks:int list -> state list
 (** Every representable state whose ways are all valid and filled with

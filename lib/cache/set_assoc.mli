@@ -40,3 +40,34 @@ val state_samples : config -> universe:int list -> count:int -> seed:int -> t li
     uncertainty set [Q] over initial hardware states. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Mutable replay}
+
+    The persistent {!access} copies the per-set state array on every access;
+    a replay is a mutable working copy for the fast-path hot loop. LRU, FIFO
+    and round-robin sets flatten to plain [int array]s stepped in place; the
+    other policies fall back to an in-place array of persistent states.
+    Replays assume non-negative addresses (every real address stream). A
+    replay's accesses produce exactly the hit/miss sequence of the
+    persistent cache it was built from — pinned by the test suite. *)
+
+type replay
+
+val replay : t -> replay
+(** Mutable working copy of the cache's current state. *)
+
+val replay_copy : replay -> replay
+
+val replay_reset : dst:replay -> src:replay -> unit
+(** Overwrite [dst] with [src]'s state without allocating. The two must
+    come from caches of identical geometry and kind.
+    @raise Invalid_argument on mismatched replay representations. *)
+
+val replay_access : replay -> int -> bool
+(** [replay_access r addr] is the hit/miss result of {!access}, updating
+    [r] in place. *)
+
+val pack : t -> int list
+(** Canonical integer encoding of geometry, kind, and every set's
+    {!Policy.pack} — injective on cache states; the fast-path engine's
+    memo-key component for cached memory levels. *)

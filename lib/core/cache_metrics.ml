@@ -31,6 +31,64 @@ let olds_all_evicted state ways =
    the sequential loop; only the combinatorially large depths fan out. *)
 let parallel_threshold = 512
 
+(* Packed exploration for the kinds with a flat-array layout (LRU, FIFO,
+   round-robin): one working slots/meta array stepped in place per initial
+   state, no persistent copies in the probe loop. Old blocks are remapped
+   from negative ids to [j+1 .. j+ways] (probes are [1..j]) because the
+   packed layout reserves -1 for empty slots — a pure renaming of blocks,
+   which every replacement policy is invariant under, so the explored state
+   space and both metrics are unchanged. The sweep never early-exits, so
+   the eval accounting below matches the generic path exactly. *)
+let packed_check kind ~ways ~j ~fill =
+  let probes = List.init j (fun i -> i + 1) in
+  let olds = List.init ways (fun i -> j + 1 + i) in
+  let states =
+    Cache.Policy.enumerate_full_states kind ~ways ~blocks:(olds @ probes)
+  in
+  let state_count = List.length states in
+  let slots = Array.make ways (-1) in
+  let meta = Array.make 1 0 in
+  let first_final = ref None in
+  let ok = ref true in
+  List.iter
+    (fun s ->
+       (match Cache.Policy.pack s with
+        | _kind :: _ways :: rest ->
+          List.iteri
+            (fun idx v ->
+               if idx < ways then slots.(idx) <- v else meta.(idx - ways) <- v)
+            rest
+        | _ -> invalid_arg "Cache_metrics: malformed pack");
+       List.iter
+         (fun p ->
+            ignore
+              (Cache.Policy.packed_step kind ~slots ~base:0 ~ways ~meta
+                 ~mbase:0 p))
+         probes;
+       (* No old block survives iff every slot is a probe id (or empty). *)
+       let no_old = Array.for_all (fun tag -> tag <= j) slots in
+       if not no_old then ok := false;
+       if fill then begin
+         let snap =
+           ( Array.to_list slots,
+             if kind = Cache.Policy.Round_robin then meta.(0) else 0 )
+         in
+         match !first_final with
+         | None -> first_final := Some snap
+         | Some f -> if f <> snap then ok := false
+       end)
+    states;
+  Prelude.Instrument.add_evals (state_count * j);
+  !ok
+
+let packed_search ~fill ~ways ~max_probes kind =
+  let rec try_probes j =
+    if j > max_probes then Beyond max_probes
+    else if packed_check kind ~ways ~j ~fill then Exact j
+    else try_probes (j + 1)
+  in
+  try_probes 1
+
 let search ?jobs ~check ~ways ~max_probes kind =
   let rec try_probes j =
     if j > max_probes then Beyond max_probes
@@ -54,15 +112,25 @@ let search ?jobs ~check ~ways ~max_probes kind =
   in
   try_probes 1
 
-let evict ?jobs kind ~ways ~max_probes =
-  let check finals = List.for_all (fun s -> olds_all_evicted s ways) finals in
-  search ?jobs ~check ~ways ~max_probes kind
+let evict ?jobs ?(engine = `Exact) kind ~ways ~max_probes =
+  match engine with
+  | `Fast when Cache.Policy.packed_kind kind ->
+    packed_search ~fill:false ~ways ~max_probes kind
+  | `Exact | `Fast ->
+    let check finals =
+      List.for_all (fun s -> olds_all_evicted s ways) finals
+    in
+    search ?jobs ~check ~ways ~max_probes kind
 
-let fill ?jobs kind ~ways ~max_probes =
-  let check = function
-    | [] -> true
-    | first :: rest ->
-      olds_all_evicted first ways
-      && List.for_all (fun s -> Cache.Policy.equal s first) rest
-  in
-  search ?jobs ~check ~ways ~max_probes kind
+let fill ?jobs ?(engine = `Exact) kind ~ways ~max_probes =
+  match engine with
+  | `Fast when Cache.Policy.packed_kind kind ->
+    packed_search ~fill:true ~ways ~max_probes kind
+  | `Exact | `Fast ->
+    let check = function
+      | [] -> true
+      | first :: rest ->
+        olds_all_evicted first ways
+        && List.for_all (fun s -> Cache.Policy.equal s first) rest
+    in
+    search ?jobs ~check ~ways ~max_probes kind

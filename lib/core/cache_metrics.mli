@@ -26,11 +26,17 @@ type estimate =
 val estimate_to_string : estimate -> string
 
 val evict :
-  ?jobs:int -> Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
+  ?jobs:int -> ?engine:Quantify.engine ->
+  Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
 (** The state-space exploration runs on [jobs] worker domains (default
     {!Prelude.Parallel.default_jobs}); results are identical for any job
-    count.
+    count. Under [`Fast] (default [`Exact]), LRU/FIFO/round-robin step one
+    packed working array in place instead of copying persistent states per
+    probe — with old blocks renamed to positive ids, a symmetry every
+    policy is invariant under, so the estimates (and the eval accounting)
+    are identical; PLRU and MRU fall back to the generic exploration.
     @raise Invalid_argument on geometries the policy cannot represent. *)
 
 val fill :
-  ?jobs:int -> Cache.Policy.kind -> ways:int -> max_probes:int -> estimate
+  ?jobs:int -> ?engine:Quantify.engine ->
+  Cache.Policy.kind -> ways:int -> max_probes:int -> estimate

@@ -30,11 +30,13 @@ let measure (name, make) =
   let states = Harness.inorder_states program w in
   (* Cap the input count so the atlas stays quick for the big input sets. *)
   let inputs = Prelude.Listx.take 40 w.Isa.Workload.inputs in
+  (* Fast engine (gated by the FIG1.FAST oracle): bit-identical matrix. *)
   let matrix =
-    Quantify.evaluate ~states ~inputs ~time:(Harness.inorder_time program) ()
+    Quantify.evaluate_timer ~engine:`Fast ~states ~inputs
+      (Harness.inorder_timer ~engine:`Fast program)
   in
   let ub_result, lb_result =
-    Analysis.Wcet.bracket ~upper:(analysis_config true)
+    Analysis.Wcet.bracket ~engine:`Fast ~upper:(analysis_config true)
       ~lower:(analysis_config false) ~shapes ~entry:"main" ()
   in
   let ub = ub_result.Analysis.Wcet.bound

@@ -19,8 +19,10 @@ let run () =
        List.iter
          (fun kind ->
             let max_probes = (3 * ways) + 2 in
-            let evict = Cache_metrics.evict kind ~ways ~max_probes in
-            let fill = Cache_metrics.fill kind ~ways ~max_probes in
+            (* Packed exploration where the policy supports it (gated by
+               the fastpath test suite): identical estimates. *)
+            let evict = Cache_metrics.evict ~engine:`Fast kind ~ways ~max_probes in
+            let fill = Cache_metrics.fill ~engine:`Fast kind ~ways ~max_probes in
             results := ((kind, ways), (evict, fill)) :: !results;
             Prelude.Table.add_row table
               [ Cache.Policy.kind_name kind; string_of_int ways;

@@ -7,9 +7,11 @@ let run () =
   let w = Isa.Workload.bubble_sort ~n:5 in
   let program, shapes = Isa.Workload.program w in
   let states = Harness.inorder_states program w in
+  (* Fast engine (gated by the FIG1.FAST oracle): bit-identical matrix. *)
   let matrix =
-    Quantify.evaluate ~states ~inputs:w.Isa.Workload.inputs
-      ~time:(Harness.inorder_time program) ()
+    Quantify.evaluate_timer ~engine:`Fast ~states
+      ~inputs:w.Isa.Workload.inputs
+      (Harness.inorder_timer ~engine:`Fast program)
   in
   let bcet = Quantify.bcet matrix and wcet = Quantify.wcet matrix in
   let analysis_config kind =

@@ -2,6 +2,8 @@ let all =
   [ ("FIG1", "Execution-time distribution with LB/BCET/WCET/UB", Exp_fig1.run);
     ("FIG1.SOUND", "Figure-1 soundness oracle (bounds + interval analysis)",
      Exp_fig1_sound.run);
+    ("FIG1.FAST", "Fast-path equivalence oracle (exact = fast engine)",
+     Exp_fig1_fast.run);
     ("EQ4", "Domino effect: 9n+1 vs 12n", Exp_eq4.run);
     ("TAB1.R1", "WCET-oriented static branch prediction", Exp_branch.run);
     ("TAB1.R2", "Time-predictable superscalar mode", Exp_superscalar.run);

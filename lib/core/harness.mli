@@ -31,6 +31,15 @@ val inorder_time :
   Isa.Program.t -> Pipeline.Inorder.state -> Isa.Exec.input -> int
 (** [T_p(q, i)] on the in-order machine. *)
 
+val inorder_timer :
+  ?engine:Quantify.engine -> ?memo:bool -> Isa.Program.t ->
+  (Pipeline.Inorder.state, Isa.Exec.input) Quantify.timer
+(** The in-order [T_p] as a {!Quantify.timer}. [`Exact] (default) wraps
+    {!inorder_time}; [`Fast] builds a {!Fastpath.Engine} (one per call —
+    reuse the timer across evaluations to share its caches) whose batched
+    rows produce bit-identical times. [memo] (default true) enables the
+    engine's [T_p] memo table. *)
+
 val outcomes : Isa.Program.t -> Isa.Exec.input list -> Isa.Exec.outcome list
 (** Functional executions of all inputs (shared by trace-driven models). *)
 

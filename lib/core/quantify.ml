@@ -1,26 +1,71 @@
 type matrix = int array array  (* indexed [state][input] *)
 
-let evaluate ?jobs ~states ~inputs ~time () =
+type engine = [ `Exact | `Fast ]
+
+type ('q, 'i) timer =
+  | Scalar of ('q -> 'i -> int)
+  | Batched of {
+      scalar : 'q -> 'i -> int;
+      row : 'q -> 'i array -> int array;
+    }
+
+let timer_scalar = function
+  | Scalar time -> time
+  | Batched { scalar; _ } -> scalar
+
+(* Below this many cells a `Fast evaluation stays on the calling domain:
+   the per-call pool spawn/join costs milliseconds, which dwarfs the cells
+   themselves on small matrices (all of Extent.profile's cuts). The values
+   are engine-independent either way. *)
+let inline_cells = 2048
+
+let evaluate_timer ?jobs ?(engine = `Exact) ~states ~inputs timer =
   if states = [] then invalid_arg "Quantify.evaluate: empty state set";
   if inputs = [] then invalid_arg "Quantify.evaluate: empty input set";
   let inputs = Array.of_list inputs in
-  let row q =
-    Array.map
-      (fun i ->
-         let t = time q i in
-         if t <= 0 then
-           invalid_arg "Quantify.evaluate: execution times must be positive";
-         t)
-      inputs
+  let states = Array.of_list states in
+  let check t =
+    if t <= 0 then
+      invalid_arg "Quantify.evaluate: execution times must be positive"
   in
+  (* Validation happens in place on the worker's own result — one pass over
+     freshly produced cells, no second sweep or copy on the caller. *)
+  let row q =
+    match timer with
+    | Scalar time ->
+      Array.map
+        (fun i ->
+           let t = time q i in
+           check t;
+           t)
+        inputs
+    | Batched { row; _ } ->
+      let r = row q inputs in
+      if Array.length r <> Array.length inputs then
+        invalid_arg "Quantify.evaluate: batched row has wrong width";
+      Array.iter check r;
+      r
+  in
+  let cells = Array.length states * Array.length inputs in
   (* Rows of the T_p(q, i) matrix are independent: evaluate them across the
      domain pool. Ordering (and thus every min/max below) is deterministic
-     for any job count. *)
-  let m = Prelude.Parallel.map_array ?jobs row (Array.of_list states) in
-  let cells = Array.length m * Array.length inputs in
+     for any job count — and for either engine. *)
+  let m =
+    match engine with
+    | `Fast when cells < inline_cells ->
+      Array.map
+        (fun q ->
+           Prelude.Parallel.check_deadline ();
+           row q)
+        states
+    | `Exact | `Fast -> Prelude.Parallel.map_array ?jobs row states
+  in
   Prelude.Instrument.add_cells cells;
   Prelude.Instrument.add_evals cells;
   m
+
+let evaluate ?jobs ~states ~inputs ~time () =
+  evaluate_timer ?jobs ~engine:`Exact ~states ~inputs (Scalar time)
 
 let fold_matrix f init m =
   Array.fold_left (fun acc row -> Array.fold_left f acc row) init m

@@ -38,6 +38,34 @@ val evaluate :
     @raise Invalid_argument on empty [states]/[inputs] or a non-positive
     execution time. *)
 
+type engine = [ `Exact | `Fast ]
+(** Evaluation strategy selector. [`Exact] is the reference path: always
+    scalar [T_p] calls, always fanned out over the pool. [`Fast] may use a
+    timer's batched rows and keeps small matrices (under ~2k cells) on the
+    calling domain, where the pool's per-call domain spawn would dominate.
+    Both produce bit-identical matrices — gated by the FIG1.FAST oracle. *)
+
+type ('q, 'i) timer =
+  | Scalar of ('q -> 'i -> int)
+  | Batched of {
+      scalar : 'q -> 'i -> int;
+      row : 'q -> 'i array -> int array;
+        (** one matrix row in a single call (lockstep batch stepping);
+            must agree cell-for-cell with [scalar] *)
+    }
+(** A timing function, optionally with a batched row evaluator (e.g.
+    {!Fastpath.Engine.row} via {!Harness.inorder_timer}). *)
+
+val timer_scalar : ('q, 'i) timer -> 'q -> 'i -> int
+
+val evaluate_timer :
+  ?jobs:int -> ?engine:engine -> states:'q list -> inputs:'i list ->
+  ('q, 'i) timer -> matrix
+(** {!evaluate} generalised over {!timer} and {!engine} (default [`Exact],
+    which with a [Scalar] timer is exactly {!evaluate}). Validation runs in
+    place on each worker's freshly produced row — a single pass, no second
+    O(Q*I) sweep. Batched rows of the wrong width are rejected. *)
+
 val pr : matrix -> Prelude.Ratio.t
 (** Def. 3.
     @raise Invalid_argument on an empty or ragged matrix. *)

@@ -124,6 +124,22 @@ let terminator t b =
   let pc = b.start_pc + b.len - 1 in
   (pc, Isa.Program.instr t.program pc)
 
+type mix = {
+  has_memory : bool;
+  has_branch : bool;
+  has_control : bool;
+}
+
+let mix t b =
+  let step acc (_, ins) =
+    { has_memory = acc.has_memory || Isa.Instr.is_memory ins;
+      has_branch = acc.has_branch || Isa.Instr.is_branch ins;
+      has_control = acc.has_control || Isa.Instr.is_control ins }
+  in
+  List.fold_left step
+    { has_memory = false; has_branch = false; has_control = false }
+    (instrs t b)
+
 let reachable t =
   let seen = Array.make (Array.length t.blocks) false in
   let rec visit id =

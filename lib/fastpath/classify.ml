@@ -1,0 +1,36 @@
+type features = {
+  fetch_pure : bool;
+  data_pure : bool;
+  branch_pure : bool;
+}
+
+let level_pure = function
+  | Pipeline.Mem_system.Flat _ | Pipeline.Mem_system.Spm _ -> true
+  | Pipeline.Mem_system.Cached _ -> false
+
+let features (st : Pipeline.Inorder.state) =
+  { fetch_pure = level_pure st.mem.Pipeline.Mem_system.imem;
+    data_pure = level_pure st.mem.Pipeline.Mem_system.dmem;
+    branch_pure = Branchpred.Predictor.is_static st.predictor }
+
+let block_pure cfg feats (b : Dataflow.Cfg.block) =
+  feats.fetch_pure
+  &&
+  let mix = Dataflow.Cfg.mix cfg b in
+  (feats.data_pure || not mix.Dataflow.Cfg.has_memory)
+  && (feats.branch_pure || not mix.Dataflow.Cfg.has_branch)
+
+(* One flag per pc: whether the pc sits in a context-free block under these
+   machine features. Blocks partition the program, so this is total. *)
+let pure_pcs cfg feats =
+  let program = Dataflow.Cfg.program cfg in
+  let flags = Array.make (Isa.Program.length program) false in
+  Array.iter
+    (fun b ->
+       if block_pure cfg feats b then
+         for pc = b.Dataflow.Cfg.start_pc
+           to b.Dataflow.Cfg.start_pc + b.Dataflow.Cfg.len - 1 do
+           flags.(pc) <- true
+         done)
+    (Dataflow.Cfg.blocks cfg);
+  flags

@@ -1,0 +1,29 @@
+(** Context-free / context-dependent classification of basic blocks.
+
+    A block is {e context-free} for a given machine configuration when its
+    contribution to [T_p(q, i)] cannot depend on the incoming hardware
+    state: instruction fetches are serviced by a stateless memory level
+    (flat or scratchpad), the block's loads/stores (if any) likewise, and
+    its conditional branches (if any) are predicted by a stateless static
+    scheme. Such a block costs the same number of cycles on every visit
+    within one execution context, so the engine sums it once and replays
+    the total ({!Summary}). Everything else is {e context-dependent} and
+    falls back to cycle-accurate packed stepping ({!Engine}).
+
+    The classification is derived from {!Dataflow.Cfg.mix} (what the block
+    {e contains}) crossed with the machine features (what the configuration
+    makes {e stateful}) — it never inspects dynamic state, so it holds for
+    every [q] sharing the same feature vector. *)
+
+type features = {
+  fetch_pure : bool;   (** imem is stateless (not a cache) *)
+  data_pure : bool;    (** dmem is stateless *)
+  branch_pure : bool;  (** predictor is static *)
+}
+
+val features : Pipeline.Inorder.state -> features
+
+val block_pure : Dataflow.Cfg.t -> features -> Dataflow.Cfg.block -> bool
+
+val pure_pcs : Dataflow.Cfg.t -> features -> bool array
+(** Per-pc flag: pc lies in a context-free block. *)

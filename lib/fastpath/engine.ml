@@ -1,0 +1,249 @@
+(* One cache level of the packed working machine state. *)
+type level_replay =
+  | Lpure of Pipeline.Mem_system.level
+  | Lcached of { rep : Cache.Set_assoc.replay; hit : int; miss : int }
+
+(* Per-row working state: templates seeded once from [q], working copies
+   reset by blitting before every cell. *)
+type prepared = {
+  imem_t : level_replay;
+  dmem_t : level_replay;
+  pred_t : Branchpred.Predictor.replay;
+  imem_w : level_replay;
+  dmem_w : level_replay;
+  pred_w : Branchpred.Predictor.replay;
+  pure : bool array;
+  ctx : string;
+  skey : string;
+}
+
+(* Per-domain single-entry interning for scalar [time] calls: sweeps pass
+   the same state along a row and often the same input repeatedly, so a
+   physical-equality hit skips re-packing the state (prepare) and
+   re-marshalling the input (trace keying). Domain-local by construction —
+   prepared working arrays are mutated during a cell, so they must never be
+   shared across domains. *)
+type scratch = {
+  mutable s_state : Pipeline.Inorder.state option;
+  mutable s_prep : prepared option;
+  mutable s_input : Isa.Exec.input option;
+  mutable s_trace : Trace.compiled option;
+}
+
+type t = {
+  program : Isa.Program.t;
+  digest : int;
+  cfg : Dataflow.Cfg.t;
+  memo : (string, int) Hashtbl.t option;
+  traces : (string, Trace.compiled) Hashtbl.t;
+  summaries : (string, Summary.t) Hashtbl.t;
+  classes : (Classify.features, bool array) Hashtbl.t;
+  mutable interned : (Isa.Exec.input array * Trace.compiled array) option;
+  scratch : scratch Domain.DLS.key;
+  mu : Mutex.t;
+}
+
+let create ?(memo = true) program =
+  { program;
+    digest = Isa.Program.digest program;
+    cfg = Dataflow.Cfg.build program;
+    memo = (if memo then Some (Hashtbl.create 1024) else None);
+    traces = Hashtbl.create 64;
+    summaries = Hashtbl.create 64;
+    classes = Hashtbl.create 8;
+    interned = None;
+    scratch =
+      Domain.DLS.new_key (fun () ->
+          { s_state = None; s_prep = None; s_input = None; s_trace = None });
+    mu = Mutex.create () }
+
+let memoized t = t.memo <> None
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception exn ->
+    Mutex.unlock t.mu;
+    raise exn
+
+(* Shared tables are filled under the engine mutex. Values are pure
+   functions of their keys, so a racing double-compute (compile outside the
+   lock, last insert wins) is benign: any stored value is the value. *)
+
+let trace_for t input =
+  let key = Trace.input_key input in
+  match with_lock t (fun () -> Hashtbl.find_opt t.traces key) with
+  | Some tr -> tr
+  | None ->
+    let tr = Trace.compile t.program input in
+    with_lock t (fun () -> Hashtbl.replace t.traces key tr);
+    tr
+
+let pure_for t feats =
+  match with_lock t (fun () -> Hashtbl.find_opt t.classes feats) with
+  | Some flags -> flags
+  | None ->
+    let flags = Classify.pure_pcs t.cfg feats in
+    with_lock t (fun () -> Hashtbl.replace t.classes feats flags);
+    flags
+
+let summary_for t ~ctx ~pure st (tr : Trace.compiled) =
+  let key = ctx ^ "#" ^ tr.Trace.key in
+  match with_lock t (fun () -> Hashtbl.find_opt t.summaries key) with
+  | Some s -> s
+  | None ->
+    let s = Summary.build ~pure st tr in
+    with_lock t (fun () -> Hashtbl.replace t.summaries key s);
+    s
+
+(* --- Packed machine state ------------------------------------------------ *)
+
+let level_replay = function
+  | (Pipeline.Mem_system.Flat _ | Pipeline.Mem_system.Spm _) as level ->
+    Lpure level
+  | Pipeline.Mem_system.Cached { cache; hit; miss } ->
+    Lcached { rep = Cache.Set_assoc.replay cache; hit; miss }
+
+let level_copy = function
+  | Lpure _ as l -> l
+  | Lcached c -> Lcached { c with rep = Cache.Set_assoc.replay_copy c.rep }
+
+let level_reset ~dst ~src =
+  match dst, src with
+  | Lpure _, Lpure _ -> ()
+  | Lcached d, Lcached s ->
+    Cache.Set_assoc.replay_reset ~dst:d.rep ~src:s.rep
+  | (Lpure _ | Lcached _), _ -> assert false
+
+let level_cost l addr =
+  match l with
+  | Lpure level -> (
+      match level with
+      | Pipeline.Mem_system.Flat lat -> lat
+      | Pipeline.Mem_system.Spm { spm; hit; backing } ->
+        if Cache.Scratchpad.contains spm addr then hit else backing
+      | Pipeline.Mem_system.Cached _ -> assert false)
+  | Lcached { rep; hit; miss } ->
+    if Cache.Set_assoc.replay_access rep addr then hit else miss
+
+let level_pack = function
+  | Pipeline.Mem_system.Flat lat -> [ 0; lat ]
+  | Pipeline.Mem_system.Cached { cache; hit; miss } ->
+    1 :: hit :: miss :: Cache.Set_assoc.pack cache
+  | Pipeline.Mem_system.Spm { spm; hit; backing } ->
+    [ 2; hit; backing; Cache.Scratchpad.base spm; Cache.Scratchpad.size spm ]
+
+let state_key t (st : Pipeline.Inorder.state) =
+  Summary.key_of_ints
+    (t.digest
+     :: (level_pack st.mem.Pipeline.Mem_system.imem
+         @ level_pack st.mem.Pipeline.Mem_system.dmem
+         @ Branchpred.Predictor.pack st.predictor))
+
+let prepare t (st : Pipeline.Inorder.state) =
+  let imem_t = level_replay st.mem.Pipeline.Mem_system.imem in
+  let dmem_t = level_replay st.mem.Pipeline.Mem_system.dmem in
+  let pred_t = Branchpred.Predictor.replay st.predictor in
+  { imem_t; dmem_t; pred_t;
+    imem_w = level_copy imem_t;
+    dmem_w = level_copy dmem_t;
+    pred_w = Branchpred.Predictor.replay_copy pred_t;
+    pure = pure_for t (Classify.features st);
+    ctx = Summary.context_key st;
+    skey = state_key t st }
+
+(* The residual interpreter: summaries skip context-free runs, everything
+   else steps the packed machine state cycle-accurately, mirroring
+   [Pipeline.Inorder.run] term for term. *)
+let run_cell p (sum : Summary.t) (tr : Trace.compiled) =
+  level_reset ~dst:p.imem_w ~src:p.imem_t;
+  level_reset ~dst:p.dmem_w ~src:p.dmem_t;
+  Branchpred.Predictor.replay_reset ~dst:p.pred_w ~src:p.pred_t;
+  let cyc = ref 0 in
+  let k = ref 0 in
+  let n = tr.Trace.events in
+  while !k < n do
+    let nxt = sum.Summary.seg_next.(!k) in
+    if nxt > !k then begin
+      cyc := !cyc + sum.Summary.seg_cost.(!k);
+      k := nxt
+    end
+    else begin
+      cyc := !cyc + level_cost p.imem_w tr.Trace.iaddr.(!k);
+      cyc := !cyc + tr.Trace.base.(!k);
+      let da = tr.Trace.daddr.(!k) in
+      if da >= 0 then cyc := !cyc + level_cost p.dmem_w da;
+      if tr.Trace.br.(!k) then begin
+        let ev =
+          { Branchpred.Predictor.pc = tr.Trace.pcs.(!k);
+            backward = tr.Trace.br_backward.(!k);
+            taken = tr.Trace.br_taken.(!k) }
+        in
+        if not (Branchpred.Predictor.replay_correct p.pred_w ev) then
+          cyc := !cyc + Pipeline.Latency.branch_mispredict_penalty
+      end;
+      incr k
+    end
+  done;
+  !cyc
+
+let cell t p st tr =
+  match t.memo with
+  | None ->
+    let sum = summary_for t ~ctx:p.ctx ~pure:p.pure st tr in
+    run_cell p sum tr
+  | Some memo -> (
+      let key = p.skey ^ "#" ^ tr.Trace.key in
+      match with_lock t (fun () -> Hashtbl.find_opt memo key) with
+      | Some v ->
+        Prelude.Instrument.add_memo_hits 1;
+        v
+      | None ->
+        Prelude.Instrument.add_memo_misses 1;
+        let sum = summary_for t ~ctx:p.ctx ~pure:p.pure st tr in
+        let v = run_cell p sum tr in
+        with_lock t (fun () -> Hashtbl.replace memo key v);
+        v)
+
+let time t st input =
+  let s = Domain.DLS.get t.scratch in
+  let p =
+    match s.s_state, s.s_prep with
+    | Some st', Some p when st' == st -> p
+    | _ ->
+      let p = prepare t st in
+      s.s_state <- Some st;
+      s.s_prep <- Some p;
+      p
+  in
+  let tr =
+    match s.s_input, s.s_trace with
+    | Some i', Some tr when i' == input -> tr
+    | _ ->
+      let tr = trace_for t input in
+      s.s_input <- Some input;
+      s.s_trace <- Some tr;
+      tr
+  in
+  cell t p st tr
+
+let interned_traces t inputs =
+  match
+    with_lock t (fun () ->
+        match t.interned with
+        | Some (arr, traces) when arr == inputs -> Some traces
+        | _ -> None)
+  with
+  | Some traces -> traces
+  | None ->
+    let traces = Array.map (fun i -> trace_for t i) inputs in
+    with_lock t (fun () -> t.interned <- Some (inputs, traces));
+    traces
+
+let row t st inputs =
+  let traces = interned_traces t inputs in
+  let p = prepare t st in
+  Array.map (fun tr -> cell t p st tr) traces

@@ -1,0 +1,37 @@
+(** The compositional fast-path evaluator for [T_p(q, i)] on the in-order
+    machine.
+
+    One engine serves one program. Per input it compiles the functional
+    trace to flat arrays ({!Trace}); per machine-feature vector it
+    classifies basic blocks as context-free or context-dependent
+    ({!Classify}); per (execution context, input) it pre-sums the
+    context-free runs ({!Summary}); and per cell it replays summaries,
+    stepping only context-dependent regions against bit-packed cache and
+    predictor state ({!Cache.Set_assoc.replay},
+    {!Branchpred.Predictor.replay}). On top sits an optional memo table
+    keyed by (program digest, packed state, packed input) — ROADMAP item
+    3's serve-mode cache in embryo.
+
+    Determinism: every produced time equals {!Pipeline.Inorder.time} on the
+    same [(q, i)] (the FIG1.FAST oracle asserts bit-identical matrices on
+    the whole workload registry), and all shared tables hold pure functions
+    of their keys behind a mutex, so concurrent rows from any number of
+    worker domains — and any memo hit/miss interleaving — return identical
+    values. Memo hit/miss counts are credited to
+    {!Prelude.Instrument.counts} (deterministic only at [jobs = 1]). *)
+
+type t
+
+val create : ?memo:bool -> Isa.Program.t -> t
+(** [memo] defaults to [true]; [create ~memo:false] replays every cell. *)
+
+val memoized : t -> bool
+
+val time : t -> Pipeline.Inorder.state -> Isa.Exec.input -> int
+(** Drop-in for {!Pipeline.Inorder.time} (bit-identical). *)
+
+val row : t -> Pipeline.Inorder.state -> Isa.Exec.input array -> int array
+(** One matrix row in lockstep: the state is packed once, traces are
+    interned once per distinct input array, and each cell resets the packed
+    working state by blitting. Safe to call concurrently from worker
+    domains. *)

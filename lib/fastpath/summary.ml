@@ -1,0 +1,89 @@
+type t = {
+  seg_next : int array;
+  seg_cost : int array;
+}
+
+let key_of_ints ints =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun v ->
+       Buffer.add_string buf (string_of_int v);
+       Buffer.add_char buf ',')
+    ints;
+  Buffer.contents buf
+
+(* The summary context: everything a pure event's cost can read. Stateless
+   level parameters and the static-prediction scheme appear in full;
+   stateful components collapse to an opaque marker (their state is per-[q]
+   and never consulted inside a pure segment). *)
+let context_key (st : Pipeline.Inorder.state) =
+  let level_part = function
+    | Pipeline.Mem_system.Flat lat -> [ 0; lat ]
+    | Pipeline.Mem_system.Spm { spm; hit; backing } ->
+      [ 1; hit; backing; Cache.Scratchpad.base spm; Cache.Scratchpad.size spm ]
+    | Pipeline.Mem_system.Cached _ -> [ 2 ]
+  in
+  let pred_part =
+    if Branchpred.Predictor.is_static st.predictor then
+      Branchpred.Predictor.pack st.predictor
+    else [ -2 ]
+  in
+  key_of_ints
+    (level_part st.mem.Pipeline.Mem_system.imem
+     @ level_part st.mem.Pipeline.Mem_system.dmem
+     @ pred_part)
+
+let pure_level_cost level addr =
+  match level with
+  | Pipeline.Mem_system.Flat lat -> lat
+  | Pipeline.Mem_system.Spm { spm; hit; backing } ->
+    if Cache.Scratchpad.contains spm addr then hit else backing
+  | Pipeline.Mem_system.Cached _ -> assert false
+
+(* Cost of one event inside a context-free block. Classification guarantees
+   each component it charges is stateless here: fetch (block purity requires
+   a stateless imem), data only when the block has loads/stores (stateless
+   dmem), branch prediction only for static schemes (predict without
+   update). *)
+let pure_event_cost (st : Pipeline.Inorder.state) (tr : Trace.compiled) k =
+  let fetch = pure_level_cost st.mem.Pipeline.Mem_system.imem tr.Trace.iaddr.(k) in
+  let data =
+    if tr.Trace.daddr.(k) >= 0 then
+      pure_level_cost st.mem.Pipeline.Mem_system.dmem tr.Trace.daddr.(k)
+    else 0
+  in
+  let branch =
+    if tr.Trace.br.(k) then begin
+      let ev =
+        { Branchpred.Predictor.pc = tr.Trace.pcs.(k);
+          backward = tr.Trace.br_backward.(k);
+          taken = tr.Trace.br_taken.(k) }
+      in
+      if Branchpred.Predictor.predict st.predictor ev = tr.Trace.br_taken.(k)
+      then 0
+      else Pipeline.Latency.branch_mispredict_penalty
+    end
+    else 0
+  in
+  fetch + tr.Trace.base.(k) + data + branch
+
+let build ~pure st (tr : Trace.compiled) =
+  let n = tr.Trace.events in
+  let seg_next = Array.make n (-1) in
+  let seg_cost = Array.make n 0 in
+  let k = ref 0 in
+  while !k < n do
+    if pure.(tr.Trace.pcs.(!k)) then begin
+      let j = ref !k in
+      let c = ref 0 in
+      while !j < n && pure.(tr.Trace.pcs.(!j)) do
+        c := !c + pure_event_cost st tr !j;
+        incr j
+      done;
+      seg_next.(!k) <- !j;
+      seg_cost.(!k) <- !c;
+      k := !j
+    end
+    else incr k
+  done;
+  { seg_next; seg_cost }

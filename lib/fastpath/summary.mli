@@ -1,0 +1,30 @@
+(** Per-(context, input) block summaries: maximal runs of trace events that
+    lie in context-free blocks ({!Classify}), pre-summed to a constant cycle
+    cost.
+
+    A summary is aligned with one compiled trace: [seg_next.(k) = j > k]
+    means events [k .. j-1] are all context-free and cost [seg_cost.(k)]
+    cycles in total, so the replay loop adds the constant and jumps to [j];
+    [seg_next.(k) = -1] means event [k] must be stepped cycle-accurately.
+    Because context-free events touch no stateful component (that is the
+    classification invariant), skipping them leaves cache and predictor
+    replay state exactly as full stepping would.
+
+    Summaries are shared across every state [q] with the same
+    {!context_key}: the key captures all parameters a pure event's cost can
+    read (stateless level latencies and geometry, the static prediction
+    scheme), while stateful components collapse to a marker. *)
+
+type t = {
+  seg_next : int array;  (** exclusive end of the pure run starting here, or -1 *)
+  seg_cost : int array;  (** total cycles of that run *)
+}
+
+val context_key : Pipeline.Inorder.state -> string
+
+val build : pure:bool array -> Pipeline.Inorder.state -> Trace.compiled -> t
+(** [build ~pure st tr] with [pure] from {!Classify.pure_pcs} for [st]'s
+    features; [st] supplies the pure components' parameters. *)
+
+val key_of_ints : int list -> string
+(** Canonical string of an integer encoding (shared key plumbing). *)

@@ -1,0 +1,43 @@
+type compiled = {
+  events : int;
+  pcs : int array;
+  iaddr : int array;
+  base : int array;
+  daddr : int array;
+  br : bool array;
+  br_backward : bool array;
+  br_taken : bool array;
+  key : string;
+}
+
+let input_key (input : Isa.Exec.input) =
+  Marshal.to_string input [ Marshal.No_sharing ]
+
+let compile program input =
+  let outcome = Isa.Exec.run program input in
+  let n = Array.length outcome.Isa.Exec.trace in
+  let t =
+    { events = n;
+      pcs = Array.make n 0;
+      iaddr = Array.make n 0;
+      base = Array.make n 0;
+      daddr = Array.make n (-1);
+      br = Array.make n false;
+      br_backward = Array.make n false;
+      br_taken = Array.make n false;
+      key = input_key input }
+  in
+  Array.iteri
+    (fun k (ev : Isa.Exec.event) ->
+       t.pcs.(k) <- ev.pc;
+       t.iaddr.(k) <- Isa.Program.instr_address program ev.pc;
+       t.base.(k) <- Pipeline.Latency.base ~operand:ev.operand ev.ins;
+       (match ev.addr with Some a -> t.daddr.(k) <- a | None -> ());
+       match ev.ins, ev.taken with
+       | Isa.Instr.Br (_, _, _, target), Some taken ->
+         t.br.(k) <- true;
+         t.br_backward.(k) <- Isa.Program.resolve program target <= ev.pc;
+         t.br_taken.(k) <- taken
+       | _, _ -> ())
+    outcome.Isa.Exec.trace;
+  t

@@ -1,0 +1,30 @@
+(** Compiled execution traces: the functional outcome of one input, lowered
+    to flat [int array]s so the residual hot loop touches no functional
+    structures.
+
+    The functional trace depends only on the program and the input (never
+    on hardware state — Def. 2's separation), so it is compiled once per
+    input and replayed against every [q]. Each event carries everything the
+    in-order cost model consumes: instruction address (fetch), base execute
+    latency (already operand-resolved), data address or -1, and the
+    conditional-branch triple [(pc, backward, taken)]. Replaying these
+    against {!Pipeline.Inorder.run} semantics is pinned bit-identical by
+    the FIG1.FAST oracle and the test suite. *)
+
+type compiled = {
+  events : int;
+  pcs : int array;          (** event pc *)
+  iaddr : int array;        (** instruction byte address *)
+  base : int array;         (** [Latency.base ~operand ins] *)
+  daddr : int array;        (** data address, or -1 for none *)
+  br : bool array;          (** conditional branch with an outcome *)
+  br_backward : bool array;
+  br_taken : bool array;
+  key : string;             (** canonical packed input key *)
+}
+
+val input_key : Isa.Exec.input -> string
+(** Canonical encoding of an input (structural: equal inputs give equal
+    keys). Memo-table key component. *)
+
+val compile : Isa.Program.t -> Isa.Exec.input -> compiled

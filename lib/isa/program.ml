@@ -70,6 +70,24 @@ let instr t pc = t.code.(pc)
 let instr_address _ pc = pc * 4
 let functions t = t.functions
 
+(* FNV-style fold over a canonical rendering of the code. Stable across
+   processes (no [Hashtbl.hash] dependence on runtime internals), cheap to
+   compute once per program, and sensitive to every instruction field via
+   [Instr.pp] — the fast-path engine uses it to key memo tables. *)
+let digest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int t.entry);
+  Array.iter
+    (fun ins ->
+       Buffer.add_char buf '\n';
+       Buffer.add_string buf (Format.asprintf "%a" Instr.pp ins))
+    t.code;
+  let h = ref 0x1505 in
+  String.iter
+    (fun c -> h := ((!h * 0x100000001b3) + Char.code c) land max_int)
+    (Buffer.contents buf);
+  !h
+
 let function_of_pc t pc =
   let covers (_, (start, len)) = pc >= start && pc < start + len in
   match List.find_opt covers t.functions with

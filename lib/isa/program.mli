@@ -37,6 +37,11 @@ val instr_address : t -> int -> int
 val functions : t -> (string * (int * int)) list
 (** [(name, (start_pc, length))] for every function, in layout order. *)
 
+val digest : t -> int
+(** Stable non-negative hash of the linked code (entry point plus every
+    instruction, all fields). Two programs with different code practically
+    never collide; the fast-path engine keys its [T_p] memo tables on it. *)
+
 val function_of_pc : t -> int -> string
 (** Name of the function containing [pc]. @raise Not_found if out of range. *)
 

@@ -1,9 +1,11 @@
 type counts = {
   evals : int;
   cells : int;
+  memo_hits : int;
+  memo_misses : int;
 }
 
-let zero = { evals = 0; cells = 0 }
+let zero = { evals = 0; cells = 0; memo_hits = 0; memo_misses = 0 }
 
 let key = Domain.DLS.new_key (fun () -> ref zero)
 
@@ -16,5 +18,13 @@ let add_evals n =
 let add_cells n =
   let r = Domain.DLS.get key in
   r := { !r with cells = !r.cells + n }
+
+let add_memo_hits n =
+  let r = Domain.DLS.get key in
+  r := { !r with memo_hits = !r.memo_hits + n }
+
+let add_memo_misses n =
+  let r = Domain.DLS.get key in
+  r := { !r with memo_misses = !r.memo_misses + n }
 
 let now () = Unix.gettimeofday ()

@@ -17,6 +17,8 @@
 type counts = {
   evals : int;  (** kernel evaluations: [T_p(q,i)] calls, states explored *)
   cells : int;  (** [Q * I] matrix cells materialised *)
+  memo_hits : int;    (** fast-path [T_p] cells answered from the memo table *)
+  memo_misses : int;  (** fast-path [T_p] cells that had to be replayed *)
 }
 
 val snapshot : unit -> counts
@@ -25,6 +27,8 @@ val snapshot : unit -> counts
 
 val add_evals : int -> unit
 val add_cells : int -> unit
+val add_memo_hits : int -> unit
+val add_memo_misses : int -> unit
 
 val now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]). *)

@@ -83,6 +83,8 @@ module Pool = struct
        nested parallelism. *)
     worker_evals : int Atomic.t;
     worker_cells : int Atomic.t;
+    worker_memo_hits : int Atomic.t;
+    worker_memo_misses : int Atomic.t;
   }
 
   let rec work_loop t =
@@ -106,7 +108,11 @@ module Pool = struct
        snapshot is exactly the work this pool's tasks did here. *)
     let counts = Instrument.snapshot () in
     ignore (Atomic.fetch_and_add t.worker_evals counts.Instrument.evals);
-    ignore (Atomic.fetch_and_add t.worker_cells counts.Instrument.cells)
+    ignore (Atomic.fetch_and_add t.worker_cells counts.Instrument.cells);
+    ignore
+      (Atomic.fetch_and_add t.worker_memo_hits counts.Instrument.memo_hits);
+    ignore
+      (Atomic.fetch_and_add t.worker_memo_misses counts.Instrument.memo_misses)
 
   (* Spawn up to [size] workers. [Domain.spawn] can fail (the runtime caps
      live domains at ~128, and the "parallel.spawn" fault site simulates
@@ -119,7 +125,8 @@ module Pool = struct
     let t =
       { mu = Mutex.create (); work_ready = Condition.create ();
         queue = Queue.create (); closed = false; domains = [];
-        worker_evals = Atomic.make 0; worker_cells = Atomic.make 0 }
+        worker_evals = Atomic.make 0; worker_cells = Atomic.make 0;
+        worker_memo_hits = Atomic.make 0; worker_memo_misses = Atomic.make 0 }
     in
     (try
        for _ = 1 to size do
@@ -146,7 +153,9 @@ module Pool = struct
     Mutex.unlock t.mu;
     List.iter Domain.join t.domains;
     Instrument.add_evals (Atomic.get t.worker_evals);
-    Instrument.add_cells (Atomic.get t.worker_cells)
+    Instrument.add_cells (Atomic.get t.worker_cells);
+    Instrument.add_memo_hits (Atomic.get t.worker_memo_hits);
+    Instrument.add_memo_misses (Atomic.get t.worker_memo_misses)
 end
 
 (* Tasks must never raise (a raising task would kill its worker domain and

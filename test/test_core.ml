@@ -428,7 +428,7 @@ let test_extent_profile () =
   let levels =
     Predictability.Extent.profile ~states:[ 0; 1; 2 ] ~inputs:[ 0; 1; 2; 3 ]
       ~time
-      ~cuts:[ ("known", 1, 1); ("some", 2, 2); ("full", 3, 4) ]
+      ~cuts:[ ("known", 1, 1); ("some", 2, 2); ("full", 3, 4) ] ()
   in
   Alcotest.(check int) "three levels" 3 (List.length levels);
   (match levels with
@@ -443,7 +443,7 @@ let test_extent_clamping () =
   let levels =
     Predictability.Extent.profile ~states:[ 0 ] ~inputs:[ 0; 1 ]
       ~time:(fun _ i -> 1 + i)
-      ~cuts:[ ("overshoot", 99, 99) ]
+      ~cuts:[ ("overshoot", 99, 99) ] ()
   in
   match levels with
   | [ l ] ->
@@ -460,7 +460,7 @@ let prop_extent_antitone_on_prefix_chains =
        let levels =
          Predictability.Extent.profile ~states:[ 0; 1; 2 ] ~inputs:[ 0; 1; 2; 3 ]
            ~time
-           ~cuts:[ ("a", 1, 1); ("b", 1, 3); ("c", 2, 3); ("d", 3, 4) ]
+           ~cuts:[ ("a", 1, 1); ("b", 1, 3); ("c", 2, 3); ("d", 3, 4) ] ()
        in
        Predictability.Extent.antitone levels)
 
