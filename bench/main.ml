@@ -109,6 +109,23 @@ let wcet_fixture =
   let _, shapes = Isa.Workload.program w in
   shapes
 
+(* Sampling kernels: a synthetic 32x32 cell space (pure arithmetic timer,
+   so the estimator machinery — keyed substreams, stratified passes,
+   bootstrap resampling, tail extrapolation — is what gets timed, not a
+   simulator), plus the unbiased Rng.int rejection path at a worst-case
+   bound and the bootstrap/tail stages in isolation. *)
+let sampling_spec =
+  { Sampling.Sampler.default with
+    Sampling.Sampler.n_cells = 128; per_stratum = 8; resamples = 50 }
+
+let sampling_time q i = 10 + (((q * 31) + (i * 17)) mod 13)
+
+let sampling_samples = Array.init 256 (fun k -> 10 + (k * 29 mod 97))
+
+(* Just under 3 * 2^60: about 1/3 of raw draws fall in the rejection zone,
+   so this times the resample loop where the modulo bias used to hide. *)
+let rejection_bound = (1 lsl 60) * 3 - 11
+
 let wcet_config =
   { Analysis.Wcet.icache =
       Analysis.Wcet.Cached_fetch
@@ -210,6 +227,27 @@ let kernel_specs jobs =
           ~ways:4 ~max_probes:6);
     stage ~kjobs:jobs "RW.CACHE/evict_lru4_exact" (fun () ->
         Predictability.Cache_metrics.evict Cache.Policy.Lru ~ways:4 ~max_probes:6);
+    stage "DEF.SAMPLE/sampler_run" (fun () ->
+        Sampling.Sampler.run ~jobs:1 ~spec:sampling_spec ~n_states:32
+          ~n_inputs:32 ~time:sampling_time ());
+    stage "DEF.SAMPLE/bootstrap_mean_ci" (fun () ->
+        Sampling.Estimate.bootstrap ~rng:(Prelude.Rng.make 11) ~resamples:50
+          ~confidence:0.99
+          ~stat:(fun a ->
+              float_of_int (Array.fold_left ( + ) 0 a)
+              /. float_of_int (Array.length a))
+          sampling_samples);
+    stage "DEF.SAMPLE/tail_extrapolate" (fun () ->
+        Sampling.Tail.estimate ~rng:(Prelude.Rng.make 12) ~resamples:50
+          ~confidence:0.99 ~tail_fraction:0.25 ~exceed_p:0.001
+          Sampling.Tail.Upper sampling_samples);
+    stage "DEF.SAMPLE/rng_int_rejection" (fun () ->
+        let rng = Prelude.Rng.make 13 in
+        let acc = ref 0 in
+        for _ = 1 to 64 do
+          acc := !acc lxor Prelude.Rng.int rng rejection_bound
+        done;
+        !acc);
     stage "RW.DYN/width_profile" (fun () ->
         Predictability.Dynamical.width_profile
           ~f:(Predictability.Dynamical.logistic ~r:4.0) ~x0:0.237 ~delta:1e-4
@@ -251,9 +289,32 @@ let kernel_specs jobs =
         Analysis.Wcet.bound { wcet_config with Analysis.Wcet.budget = Some 1 }
           Analysis.Wcet.Upper ~shapes:wcet_fixture ~entry:"main") ]
 
-let run_microbenchmarks jobs =
+let run_microbenchmarks ?only jobs =
   print_endline "--- Part 2: Bechamel microbenchmarks (ns per run) ---";
   let specs = kernel_specs jobs in
+  let specs =
+    match only with
+    | None -> specs
+    | Some substr ->
+      (* Substring filter (bench --only SUBSTR): run just the matching
+         kernels, e.g. `--only DEF.SAMPLE` as a CI smoke of the sampling
+         kernels without the full suite. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        nn = 0 || at 0
+      in
+      let matching =
+        List.filter (fun k -> contains k.k_name substr) specs
+      in
+      if matching = [] then begin
+        Printf.eprintf "bench: --only %s matches no kernel\n" substr;
+        exit 2
+      end;
+      matching
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -379,21 +440,37 @@ let bench_json ~jobs ~elapsed_s ~results ~speedups ~kernels =
 let parse_args () =
   let jobs = ref (Prelude.Parallel.recommended_jobs ()) in
   let json_file = ref "" in
+  let only = ref "" in
   let args =
     [ ("--jobs", Arg.Set_int jobs,
        "N  worker domains for Part 3 (default: recommended_domain_count)");
       ("--json", Arg.Set_string json_file,
        "FILE  also write the whole run as a machine-readable trajectory \
         point (BENCH_<n>.json; schema predlab/bench, the baseline format \
-        of `predlab compare`)") ]
+        of `predlab compare`)");
+      ("--only", Arg.Set_string only,
+       "SUBSTR  run only the Part 2 microbenchmark kernels whose name \
+        contains SUBSTR, skipping Parts 1 and 3 (not combinable with \
+        --json: a filtered run is not a trajectory point)") ]
   in
   Arg.parse args
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench [--jobs N] [--json FILE]";
-  (Stdlib.max 1 !jobs, if !json_file = "" then None else Some !json_file)
+    "bench [--jobs N] [--json FILE] [--only SUBSTR]";
+  if !only <> "" && !json_file <> "" then begin
+    prerr_endline "bench: --only and --json are mutually exclusive";
+    exit 2
+  end;
+  (Stdlib.max 1 !jobs,
+   (if !json_file = "" then None else Some !json_file),
+   if !only = "" then None else Some !only)
 
 let () =
-  let jobs, json_file = parse_args () in
+  let jobs, json_file, only = parse_args () in
+  (match only with
+   | Some substr ->
+     ignore (run_microbenchmarks ~only:substr jobs);
+     exit 0
+   | None -> ());
   let started = Unix.gettimeofday () in
   print_endline "=== Predlab benchmark harness ===";
   print_endline "--- Part 1: regenerate every figure and table of the paper ---";

@@ -333,6 +333,63 @@ let lint format fixture names =
        total_errors);
   if total_errors > 0 then exit 1
 
+(* `predlab sample`: seeded sampling estimators (Pr/SIPr/IIPr, mean,
+   BCET/WCET tails, each with a CI) over workloads — the scale-past-
+   exhaustive path, gated by the DEF.SAMPLE oracle. With --check the
+   exhaustive quantities are computed next to the estimates and exit 1
+   signals any value outside its CI. *)
+let sample jobs format seed samples confidence check names =
+  apply_jobs jobs;
+  let spec =
+    { Sampling.Sampler.default with seed; n_cells = samples; confidence }
+  in
+  let selected =
+    match names with
+    | [] -> Isa.Workload.registry
+    | names ->
+      List.map
+        (fun name ->
+           match List.assoc_opt name Isa.Workload.registry with
+           | Some make -> (name, make)
+           | None ->
+             Printf.eprintf "unknown workload %S; try `predlab workloads`\n"
+               name;
+             exit 2)
+        names
+  in
+  let rows =
+    match
+      List.map
+        (fun entry ->
+           Predictability.Sampled.analyze ~jobs ~spec ~cross_check:check entry)
+        selected
+    with
+    | exception Invalid_argument message ->
+      Printf.eprintf "predlab sample: %s\n" message;
+      exit 2
+    | rows -> rows
+  in
+  (match format with
+   | Json ->
+     print_endline
+       (Prelude.Json.to_string_pretty
+          (Predictability.Sampled.report_to_json ~jobs rows))
+   | Text ->
+     List.iter (fun row -> print_string (Predictability.Sampled.render row))
+       rows;
+     if check then
+       let outside =
+         List.filter (fun r -> not (Predictability.Sampled.all_contained r))
+           rows
+       in
+       Printf.printf "%d/%d workloads with every exhaustive value inside its CI\n"
+         (List.length rows - List.length outside)
+         (List.length rows));
+  if check
+     && List.exists (fun r -> not (Predictability.Sampled.all_contained r))
+          rows
+  then exit 1
+
 let survey () =
   print_endline "Table 1: constructive approaches to predictability (part I)";
   print_string (Predictability.Survey.render Predictability.Survey.table1);
@@ -560,6 +617,64 @@ let lint_cmd =
              and infos are printed but do not gate.")
     Term.(const lint $ format_arg $ fixture_arg $ names_arg)
 
+let sample_cmd =
+  let seed_arg =
+    Arg.(value
+         & opt int Sampling.Sampler.default.Sampling.Sampler.seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Sampling seed. Equal seeds give bit-identical reports \
+                   for any --jobs value; the seed is echoed in the \
+                   report.")
+  in
+  let samples_arg =
+    Arg.(value
+         & opt positive_int Sampling.Sampler.default.Sampling.Sampler.n_cells
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Monte-Carlo (state, input) cell draws per workload \
+                   (stratified SIPr/IIPr passes are sized separately by \
+                   the spec).")
+  in
+  let confidence_arg =
+    let conf =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok c when c > 0. && c < 1. -> Ok c
+        | Ok c ->
+          Error (`Msg (Printf.sprintf "%g is not a confidence in (0, 1)" c))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.float)
+    in
+    Arg.(value
+         & opt conf Sampling.Sampler.default.Sampling.Sampler.confidence
+         & info [ "confidence" ] ~docv:"C"
+             ~doc:"Two-sided CI coverage target in (0, 1), default 0.99.")
+  in
+  let check_arg =
+    Arg.(value
+         & flag
+         & info [ "check" ]
+             ~doc:"Also compute the exhaustive quantities (full Q*I sweep) \
+                   and verify each lands inside its CI; exit 1 if any \
+                   falls outside.")
+  in
+  let names_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workloads to sample (default: every registered \
+                   workload).")
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Estimate Pr/SIPr/IIPr, the mean execution time and \
+             pWCET-style BCET/WCET tails from seeded samples instead of \
+             the exhaustive Q*I sweep. Every estimate carries a \
+             confidence interval; an interval is a statistical statement, \
+             not a bound (see README). Results are bit-identical across \
+             --jobs and repeated runs at a fixed seed.")
+    Term.(const sample $ jobs_arg $ format_arg $ seed_arg $ samples_arg
+          $ confidence_arg $ check_arg $ names_arg)
+
 let program_cmd =
   let workload_arg =
     Arg.(required & pos 0 (some string) None
@@ -575,6 +690,6 @@ let main =
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
     [ list_cmd; run_cmd; all_cmd; chaos_cmd; stats_cmd; compare_cmd;
-      survey_cmd; workloads_cmd; program_cmd; lint_cmd ]
+      survey_cmd; workloads_cmd; program_cmd; lint_cmd; sample_cmd ]
 
 let () = exit (Cmd.eval main)

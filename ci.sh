@@ -40,6 +40,27 @@ if grep -q '"engine": "fast"' BENCH_1.json; then
   fi
 fi
 
+# Sampling gates. DEF.SAMPLE is the oracle that lets a sampled estimate be
+# trusted where no exhaustive sweep double-checks it: exhaustive
+# Pr/SIPr/IIPr/mean inside the reported CIs, tails bracketing [BCET, WCET],
+# and the whole report bit-identical across jobs and reruns at a fixed
+# seed. The CLI smoke re-asserts containment end to end (`sample --check`
+# exits 1 on any value outside its CI), and the sampling microbenchmark
+# kernels must still run. BENCH_2.json is the committed trajectory point
+# recorded after the sampling layer landed; comparing it against
+# BENCH_1.json gates check regressions hard (timings use the generous
+# cross-hardware tolerance, as above).
+dune exec bin/predlab.exe -- run DEF.SAMPLE --jobs 2
+dune exec bin/predlab.exe -- sample --check --jobs 2 clamp popcount
+dune exec bench/main.exe -- --only DEF.SAMPLE
+dune exec bin/predlab.exe -- compare BENCH_1.json BENCH_2.json --tolerance 400
+if grep -q '"engine": "fast"' BENCH_2.json; then
+  if ! grep -q '"id": "FIG1.FAST"' BENCH_2.json; then
+    echo "fast-engine kernels present but the FIG1.FAST oracle is absent" >&2
+    exit 1
+  fi
+fi
+
 # Supervision gates. A fault injected into one experiment must not take the
 # run down: the other experiments complete, the failure is classified in the
 # v2 JSON report, and the exit code is the documented 3.

@@ -4,6 +4,8 @@ let all =
      Exp_fig1_sound.run);
     ("FIG1.FAST", "Fast-path equivalence oracle (exact = fast engine)",
      Exp_fig1_fast.run);
+    ("DEF.SAMPLE", "Sampling oracle (seeded estimators bracket exhaustive)",
+     Exp_def_sample.run);
     ("EQ4", "Domino effect: 9n+1 vs 12n", Exp_eq4.run);
     ("TAB1.R1", "WCET-oriented static branch prediction", Exp_branch.run);
     ("TAB1.R2", "Time-predictable superscalar mode", Exp_superscalar.run);

@@ -67,6 +67,44 @@ let evaluate_timer ?jobs ?(engine = `Exact) ~states ~inputs timer =
 let evaluate ?jobs ~states ~inputs ~time () =
   evaluate_timer ?jobs ~engine:`Exact ~states ~inputs (Scalar time)
 
+(* Sampled evaluation: estimate the quantities from a seeded subset of
+   cells instead of materialising Q x I. The timer's scalar is used per
+   sampled cell — with a [`Fast] timer (Harness.inorder_timer) that is
+   the fast-path engine, whose memo table turns the with-replacement
+   draws' repeats into hits. *)
+let sample ?jobs ~spec ~states ~inputs timer =
+  if states = [] then invalid_arg "Quantify.sample: empty state set";
+  if inputs = [] then invalid_arg "Quantify.sample: empty input set";
+  let states = Array.of_list states in
+  let inputs = Array.of_list inputs in
+  let scalar = timer_scalar timer in
+  let time q i =
+    let t = scalar states.(q) inputs.(i) in
+    if t <= 0 then
+      invalid_arg "Quantify.sample: execution times must be positive";
+    t
+  in
+  let r =
+    Sampling.Sampler.run ?jobs ~spec ~n_states:(Array.length states)
+      ~n_inputs:(Array.length inputs) ~time ()
+  in
+  (* Sampled mode touches [evals] cells, not Q x I: credit what ran. *)
+  Prelude.Instrument.add_cells r.Sampling.Sampler.evals;
+  Prelude.Instrument.add_evals r.Sampling.Sampler.evals;
+  r
+
+type mode = [ engine | `Sampled of Sampling.Sampler.spec ]
+
+type evaluation =
+  | Exhaustive of matrix
+  | Sampled of Sampling.Sampler.result
+
+let evaluate_mode ?jobs ~mode ~states ~inputs timer =
+  match mode with
+  | (`Exact | `Fast) as engine ->
+    Exhaustive (evaluate_timer ?jobs ~engine ~states ~inputs timer)
+  | `Sampled spec -> Sampled (sample ?jobs ~spec ~states ~inputs timer)
+
 let fold_matrix f init m =
   Array.fold_left (fun acc row -> Array.fold_left f acc row) init m
 

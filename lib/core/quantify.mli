@@ -66,6 +66,33 @@ val evaluate_timer :
     place on each worker's freshly produced row — a single pass, no second
     O(Q*I) sweep. Batched rows of the wrong width are rejected. *)
 
+val sample :
+  ?jobs:int -> spec:Sampling.Sampler.spec -> states:'q list ->
+  inputs:'i list -> ('q, 'i) timer -> Sampling.Sampler.result
+(** Sampled evaluation: estimate Pr/SIPr/IIPr, the mean
+    and pWCET-style BCET/WCET tails from a seeded subset of cells instead
+    of materialising [Q * I] — the scale-past-exhaustive path. The
+    timer's scalar is invoked per sampled cell; built from
+    {!Harness.inorder_timer}[ ~engine:`Fast] that is the fast-path
+    engine, whose memo table absorbs the with-replacement repeats.
+    Results are bit-identical for any [jobs] and credit their evaluation
+    count (not [Q * I]) to {!Prelude.Instrument}.
+    @raise Invalid_argument on empty [states]/[inputs], an invalid spec,
+    or a non-positive execution time. *)
+
+type mode = [ engine | `Sampled of Sampling.Sampler.spec ]
+(** {!engine} extended with sampled evaluation. *)
+
+type evaluation =
+  | Exhaustive of matrix
+  | Sampled of Sampling.Sampler.result
+
+val evaluate_mode :
+  ?jobs:int -> mode:mode -> states:'q list -> inputs:'i list ->
+  ('q, 'i) timer -> evaluation
+(** [`Exact]/[`Fast] dispatch to {!evaluate_timer}, [`Sampled spec] to
+    {!sample}. *)
+
 val pr : matrix -> Prelude.Ratio.t
 (** Def. 3.
     @raise Invalid_argument on an empty or ragged matrix. *)

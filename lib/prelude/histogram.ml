@@ -13,6 +13,16 @@ let of_samples ~bins samples =
   | first :: rest ->
     let lo = List.fold_left Stdlib.min first rest in
     let hi = List.fold_left Stdlib.max first rest in
+    (* hi - lo + 1 silently wraps for extreme samples (e.g. min_int and
+       max_int together), leaving a non-positive width and a
+       Division_by_zero in the binning below — reject the range instead.
+       The true difference is >= 0, so a negative [hi - lo] means the
+       subtraction itself wrapped; [hi - lo = max_int] means the + 1
+       would. *)
+    if hi - lo < 0 || hi - lo = max_int then
+      invalid_arg
+        "Histogram.of_samples: sample range too wide (hi - lo + 1 exceeds \
+         the native int range)";
     let span = hi - lo + 1 in
     let width = (span + bins - 1) / bins in
     let counts = Array.make bins 0 in
@@ -47,6 +57,10 @@ let render ?(width = 40) ?(markers = []) t =
   let peak = Array.fold_left Stdlib.max 1 t.counts in
   let bar count =
     let len = count * width / peak in
+    (* Integer truncation draws nothing for small-but-occupied bins next
+       to a tall peak; an occupied bucket must never render as empty, so
+       floor at one '#' for any nonzero count. *)
+    let len = if count > 0 && len = 0 then 1 else len in
     String.make len '#'
   in
   List.iter

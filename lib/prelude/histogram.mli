@@ -6,7 +6,9 @@ type t
 val of_samples : bins:int -> int list -> t
 (** [of_samples ~bins samples] bins the samples into [bins] equal-width
     buckets spanning [min samples, max samples].
-    @raise Invalid_argument if [samples] is empty or [bins <= 0]. *)
+    @raise Invalid_argument if [samples] is empty, [bins <= 0], or the
+    sample range is so wide that [max - min + 1] exceeds the native int
+    range (it used to wrap silently and divide by zero). *)
 
 val bins : t -> (int * int * int) list
 (** [(lo, hi, count)] per bin; [lo] inclusive, [hi] inclusive. Edges are
@@ -22,5 +24,7 @@ val max_sample : t -> int
 
 val render : ?width:int -> ?markers:(string * int) list -> t -> string
 (** ASCII rendering, one bin per line, bars scaled to [width] (default 40).
-    [markers] annotate specific x-values (e.g. BCET/WCET/LB/UB) below the
-    histogram. *)
+    A nonzero bin always draws at least one ['#'], even when proportional
+    scaling would truncate it to nothing next to a tall peak — occupied
+    buckets are never hidden. [markers] annotate specific x-values (e.g.
+    BCET/WCET/LB/UB) below the histogram. *)

@@ -11,10 +11,32 @@ let next t =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* Unbiased draw via rejection sampling. The previous implementation
+   reduced a 63-bit draw with [Int64.rem] alone, which is modulo-biased:
+   [0, 2^63) splits into [floor(2^63 / bound)] full cycles plus a partial
+   one, so residues below [2^63 mod bound] were more likely than the rest.
+   For the small bounds used by workload generators the excess is
+   unobservable (~bound/2^63), but for bounds within a factor of a few of
+   [max_int] — exactly the regime of the sampling estimators' keyed cell
+   draws — some values were up to 1.5x as likely as others. Accept only
+   draws below the largest multiple of [bound] that fits in [0, 2^63):
+   within that prefix every residue appears equally often. Rejection
+   probability is [(2^63 mod bound) / 2^63] < 1/2, so the loop terminates
+   quickly with probability 1; for bounds that are small or a power of two
+   it never rejects and the emitted sequence matches the old one. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
-  else Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
-                       (Int64.of_int bound))
+  else
+    let b = Int64.of_int bound in
+    let rec draw () =
+      let v = Int64.logand (next t) Int64.max_int in
+      let r = Int64.rem v b in
+      (* v - r is the multiple of b at or below v; it exceeds
+         max_int - (b - 1) iff v lies in the final partial cycle. *)
+      if Int64.sub v r > Int64.sub Int64.max_int (Int64.sub b 1L) then draw ()
+      else Int64.to_int r
+    in
+    draw ()
 
 let bool t = Int64.logand (next t) 1L = 1L
 
@@ -41,3 +63,16 @@ let shuffle t items =
   Array.to_list arr
 
 let split t = { state = next t }
+
+(* Keyed substream: the state a plain [split] chain would reach after [key]
+   steps, computed directly (one multiply) and finalized through the
+   splitmix64 mixer so adjacent keys decorrelate. [t] is not advanced, so
+   [split_key t k] depends only on [(t's current state, k)] — the property
+   that makes per-cell sampling streams independent of which worker domain
+   evaluates which cell. *)
+let split_key t key =
+  let probe =
+    { state = Int64.add t.state
+        (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int key)) }
+  in
+  { state = next probe }

@@ -9,8 +9,12 @@ val make : int -> t
 (** [make seed] is a fresh generator; equal seeds give equal streams. *)
 
 val int : t -> int -> int
-(** [int t bound] draws uniformly from [0, bound). @raise Invalid_argument
-    if [bound <= 0]. *)
+(** [int t bound] draws uniformly from [0, bound) — exactly uniformly:
+    draws are rejection-sampled, not reduced with a bare modulo (which
+    would overweight small residues for bounds near [max_int]). A draw
+    may consume more than one step of the underlying stream (with
+    probability [(2^63 mod bound) / 2^63]; never for power-of-two or
+    small bounds). @raise Invalid_argument if [bound <= 0]. *)
 
 val bool : t -> bool
 val float : t -> float -> float
@@ -23,3 +27,11 @@ val shuffle : t -> 'a list -> 'a list
 
 val split : t -> t
 (** An independent generator derived from [t]'s stream. *)
+
+val split_key : t -> int -> t
+(** [split_key t k] is an independent generator for substream [k], derived
+    from [t]'s current state {e without advancing it}: equal [(state, k)]
+    pairs give equal streams, and distinct keys give decorrelated streams.
+    The sampling estimators key every cell's stream by cell index with
+    this, so the drawn cells are identical no matter how the draw loop is
+    scheduled across worker domains. *)

@@ -42,6 +42,26 @@ let max_int_list = function
   | [] -> invalid_arg "Stats.max_int_list: empty list"
   | x :: rest -> List.fold_left Stdlib.max x rest
 
+(* Empirical quantile with linear interpolation between order statistics
+   (the "type 7" definition shared by R and NumPy): p = 0 is the minimum,
+   p = 1 the maximum. [quantile_sorted] assumes its array is already
+   sorted ascending — the sampling estimators' bootstrap loops call it per
+   resample and must not pay a re-sort each time. *)
+let quantile_sorted arr p =
+  if Array.length arr = 0 then
+    invalid_arg "Stats.quantile: empty sample list";
+  if p < 0. || p > 1. || Float.is_nan p then
+    invalid_arg "Stats.quantile: p must be within [0, 1]";
+  let n = Array.length arr in
+  let h = p *. float_of_int (n - 1) in
+  let k = int_of_float (Float.floor h) in
+  let k' = Stdlib.min (n - 1) (k + 1) in
+  arr.(k) +. ((h -. float_of_int k) *. (arr.(k') -. arr.(k)))
+
+let quantile samples p =
+  let arr = Array.of_list (List.sort Float.compare samples) in
+  quantile_sorted arr p
+
 let coefficient_of_variation s = if s.mean = 0. then 0. else s.stddev /. s.mean
 let spread s = s.max -. s.min
 

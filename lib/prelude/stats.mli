@@ -24,6 +24,17 @@ val min_int_list : int list -> int
 val max_int_list : int list -> int
 (** @raise Invalid_argument on the empty list. *)
 
+val quantile : float list -> float -> float
+(** [quantile samples p] is the empirical [p]-quantile with linear
+    interpolation between order statistics (R/NumPy "type 7"): [p = 0] is
+    the minimum, [p = 1] the maximum, [p = 0.5] the median.
+    @raise Invalid_argument on the empty list or [p] outside [0, 1]. *)
+
+val quantile_sorted : float array -> float -> float
+(** {!quantile} over an array {e already sorted ascending} (unchecked) —
+    the allocation-free form the bootstrap resampling loops use.
+    @raise Invalid_argument on an empty array or [p] outside [0, 1]. *)
+
 val coefficient_of_variation : summary -> float
 (** [stddev / mean]; zero variability means a perfectly repeatable quantity. *)
 

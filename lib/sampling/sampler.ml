@@ -1,0 +1,201 @@
+type spec = {
+  n_cells : int;
+  per_stratum : int;
+  confidence : float;
+  resamples : int;
+  tail_fraction : float;
+  exceed_p : float;
+  seed : int;
+}
+
+let default =
+  { n_cells = 384;
+    per_stratum = 32;
+    confidence = 0.99;
+    resamples = 200;
+    tail_fraction = 0.25;
+    exceed_p = 0.001;
+    seed = 0x5a3d }
+
+let validate spec =
+  if spec.n_cells < 2 then
+    invalid_arg "Sampler.run: n_cells must be >= 2";
+  if spec.per_stratum < 2 then
+    invalid_arg "Sampler.run: per_stratum must be >= 2";
+  if
+    Float.is_nan spec.confidence || spec.confidence <= 0.
+    || spec.confidence >= 1.
+  then invalid_arg "Sampler.run: confidence must be in (0, 1)";
+  if spec.resamples < 0 then
+    invalid_arg "Sampler.run: resamples must be >= 0";
+  Tail.validate ~tail_fraction:spec.tail_fraction ~exceed_p:spec.exceed_p
+
+type cell = {
+  q : int;
+  i : int;
+  t : int;
+}
+
+type result = {
+  spec : spec;
+  n_states : int;
+  n_inputs : int;
+  cells : cell array;
+  pr : Estimate.t;
+  sipr : Estimate.t;
+  iipr : Estimate.t;
+  mean : Estimate.t;
+  bcet_tail : Estimate.t;
+  wcet_tail : Estimate.t;
+  evals : int;
+}
+
+(* Substream keys under the root generator. Every consumer of randomness
+   gets its own keyed stream: the drawn cells, each stratum, and each
+   bootstrap are mutually independent and — crucially — independent of
+   evaluation order, so results are bit-identical for any worker-domain
+   count. *)
+let key_cells = 1
+let key_sipr = 2
+let key_iipr = 3
+let key_boot_pr = 4
+let key_boot_sipr = 5
+let key_boot_iipr = 6
+let key_boot_bcet = 7
+let key_boot_wcet = 8
+
+let check_time t =
+  if t <= 0 then
+    invalid_arg "Sampler.run: execution times must be positive";
+  t
+
+let extremes_ratio times =
+  let mn = Array.fold_left Stdlib.min max_int times in
+  let mx = Array.fold_left Stdlib.max 0 times in
+  float_of_int mn /. float_of_int mx
+
+(* min over strata of (min/max within the stratum) — the sampled analogue
+   of Defs. 4 and 5, with the stratum playing the fixed input (SIPr) or
+   fixed state (IIPr). *)
+let stratified_min_ratio strata =
+  Array.fold_left
+    (fun acc stratum -> Float.min acc (extremes_ratio stratum))
+    1. strata
+
+(* Hierarchical bootstrap: resample within every stratum (the strata
+   themselves are exhaustive — one per input or per state — so they are
+   not resampled), recompute the min-ratio, repeat. *)
+let stratified_estimate ~rng ~spec strata =
+  let value = stratified_min_ratio strata in
+  let replicates =
+    Array.init spec.resamples (fun _ ->
+        stratified_min_ratio
+          (Array.map
+             (fun stratum ->
+                let n = Array.length stratum in
+                Array.init n (fun _ -> stratum.(Prelude.Rng.int rng n)))
+             strata))
+  in
+  let n = Array.fold_left (fun acc s -> acc + Array.length s) 0 strata in
+  Estimate.of_replicates ~confidence:spec.confidence ~n ~value replicates
+
+let run ?jobs ~spec ~n_states ~n_inputs ~time () =
+  validate spec;
+  if n_states <= 0 then invalid_arg "Sampler.run: n_states must be positive";
+  if n_inputs <= 0 then invalid_arg "Sampler.run: n_inputs must be positive";
+  let root = Prelude.Rng.make spec.seed in
+  let cell_master = Prelude.Rng.split_key root key_cells in
+  let sipr_master = Prelude.Rng.split_key root key_sipr in
+  let iipr_master = Prelude.Rng.split_key root key_iipr in
+  (* Monte-Carlo (q, i) draws for Pr, the mean and the tails: cell k's
+     coordinates come from the stream keyed by k, never from worker
+     identity, and Parallel.map_array delivers results by input index —
+     the two halves of the cross-jobs determinism guarantee. *)
+  let cells =
+    Prelude.Parallel.map_array ?jobs
+      (fun k ->
+         let rng = Prelude.Rng.split_key cell_master k in
+         let q = Prelude.Rng.int rng n_states in
+         let i = Prelude.Rng.int rng n_inputs in
+         { q; i; t = check_time (time q i) })
+      (Array.init spec.n_cells Fun.id)
+  in
+  let cell_times = Array.map (fun c -> c.t) cells in
+  (* Stratified draws: SIPr enumerates every input and samples states
+     within it; IIPr enumerates every state and samples inputs. *)
+  let sipr_strata =
+    Prelude.Parallel.map_array ?jobs
+      (fun i ->
+         let rng = Prelude.Rng.split_key sipr_master i in
+         Array.init spec.per_stratum (fun _ ->
+             check_time (time (Prelude.Rng.int rng n_states) i)))
+      (Array.init n_inputs Fun.id)
+  in
+  let iipr_strata =
+    Prelude.Parallel.map_array ?jobs
+      (fun q ->
+         let rng = Prelude.Rng.split_key iipr_master q in
+         Array.init spec.per_stratum (fun _ ->
+             check_time (time q (Prelude.Rng.int rng n_inputs))))
+      (Array.init n_states Fun.id)
+  in
+  (* Every estimate below is a sequential fold over data already fixed
+     above, with its own keyed bootstrap stream: jobs cannot affect it. *)
+  let pr =
+    Estimate.bootstrap
+      ~rng:(Prelude.Rng.split_key root key_boot_pr)
+      ~resamples:spec.resamples ~confidence:spec.confidence
+      ~stat:extremes_ratio cell_times
+  in
+  let sipr =
+    stratified_estimate
+      ~rng:(Prelude.Rng.split_key root key_boot_sipr)
+      ~spec sipr_strata
+  in
+  let iipr =
+    stratified_estimate
+      ~rng:(Prelude.Rng.split_key root key_boot_iipr)
+      ~spec iipr_strata
+  in
+  let mean =
+    Estimate.normal_mean ~confidence:spec.confidence
+      (Array.to_list (Array.map float_of_int cell_times))
+  in
+  let tail side key =
+    Tail.estimate
+      ~rng:(Prelude.Rng.split_key root key)
+      ~resamples:spec.resamples ~confidence:spec.confidence
+      ~tail_fraction:spec.tail_fraction ~exceed_p:spec.exceed_p side
+      cell_times
+  in
+  let bcet_tail = tail Tail.Lower key_boot_bcet in
+  let wcet_tail = tail Tail.Upper key_boot_wcet in
+  { spec; n_states; n_inputs; cells; pr; sipr; iipr; mean; bcet_tail;
+    wcet_tail;
+    evals =
+      spec.n_cells + (n_inputs * spec.per_stratum)
+      + (n_states * spec.per_stratum) }
+
+let spec_to_json spec =
+  Prelude.Json.Obj
+    [ ("n_cells", Prelude.Json.Int spec.n_cells);
+      ("per_stratum", Prelude.Json.Int spec.per_stratum);
+      ("confidence", Prelude.Json.Float spec.confidence);
+      ("resamples", Prelude.Json.Int spec.resamples);
+      ("tail_fraction", Prelude.Json.Float spec.tail_fraction);
+      ("exceed_p", Prelude.Json.Float spec.exceed_p);
+      ("seed", Prelude.Json.Int spec.seed) ]
+
+let to_json r =
+  Prelude.Json.Obj
+    [ ("n_states", Prelude.Json.Int r.n_states);
+      ("n_inputs", Prelude.Json.Int r.n_inputs);
+      ("seed", Prelude.Json.Int r.spec.seed);
+      ("spec", spec_to_json r.spec);
+      ("pr", Estimate.to_json r.pr);
+      ("sipr", Estimate.to_json r.sipr);
+      ("iipr", Estimate.to_json r.iipr);
+      ("mean_time", Estimate.to_json r.mean);
+      ("bcet_tail", Estimate.to_json r.bcet_tail);
+      ("wcet_tail", Estimate.to_json r.wcet_tail);
+      ("evals", Prelude.Json.Int r.evals) ]
