@@ -40,21 +40,14 @@ let supervision_of ~deadline ~retries =
   { Predictability.Experiments.default_supervision with
     deadline_s = deadline; retries }
 
-(* Final reports are written via a temporary file and a rename, so a
-   crash mid-write can never leave a half-document where a previous good
-   report used to be. *)
-let write_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc contents;
-      Out_channel.flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp path
-
+(* Final reports are written via a temporary file, a rename and a parent-
+   directory fsync (Journal.write_atomic), so a crash mid-write can never
+   leave a half-document where a previous good report used to be — and a
+   crash just after cannot roll the rename back. *)
 let emit ~out contents =
   match out with
   | None -> print_string contents
-  | Some path -> write_atomic path contents
+  | Some path -> Predictability.Journal.write_atomic path contents
 
 let render_supervised_text results =
   let buf = Buffer.create 4096 in
@@ -390,6 +383,169 @@ let sample jobs format seed samples confidence check names =
           rows
   then exit 1
 
+(* `predlab serve`: the resident evaluation daemon (lib/serve). Blocks
+   until a shutdown request arrives; exits 0 on that clean path, 2 on any
+   setup failure (socket busy, bad flags). *)
+let serve socket jobs deadline cache_bound =
+  apply_jobs jobs;
+  let config =
+    { Serve.Daemon.socket; jobs; deadline_s = deadline;
+      memo_bound = cache_bound }
+  in
+  let on_ready () =
+    Printf.eprintf "predlab serve: listening on %s (jobs=%d)\n%!" socket jobs
+  in
+  match Serve.Daemon.run ~on_ready config with
+  | () -> Printf.eprintf "predlab serve: shut down cleanly\n%!"
+  | exception Serve.Daemon.Busy message ->
+    Printf.eprintf "predlab serve: %s\n" message;
+    exit 2
+  | exception Invalid_argument message ->
+    Printf.eprintf "predlab serve: %s\n" message;
+    exit 2
+  | exception Sys_error message ->
+    Printf.eprintf "predlab serve: %s\n" message;
+    exit 2
+  | exception Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "predlab serve: %s: %s %s\n" (Unix.error_message err) fn
+      arg;
+    exit 2
+
+(* `predlab query`: one request-response round trip against a running
+   daemon. The result document of run/sample/lint is printed with exactly
+   the emitter call the one-shot CLI uses for that command, so the bytes
+   match; exits mirror the documented taxonomy (2 usage/connection, 3 on
+   a timed-out/crashed verdict, 1 on failed checks). *)
+let query_usage =
+  "usage: predlab query [flags] OP ...\n\
+  \  eval WORKLOAD STATE INPUT | run ID | sample [WORKLOAD...]\n\
+  \  | lint [WORKLOAD...] | compare BASELINE.json CURRENT.json\n\
+  \  | stats | shutdown   (or --raw LINE)"
+
+let load_json_doc path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error message -> Error message
+  | contents -> (
+      match Prelude.Json.parse contents with
+      | Ok json -> Ok json
+      | Error message -> Error (Printf.sprintf "%s: %s" path message))
+
+let build_request ~retries ~seed ~samples ~confidence ~tolerance = function
+  | [ "eval"; workload; state; input ] -> (
+      match int_of_string_opt state, int_of_string_opt input with
+      | Some state, Some input ->
+        Ok (Serve.Protocol.Eval { workload; state; input })
+      | _ -> Error "eval: STATE and INPUT must be integers")
+  | "eval" :: _ -> Error "usage: predlab query eval WORKLOAD STATE INPUT"
+  | [ "run"; id ] -> Ok (Serve.Protocol.Run { id; retries })
+  | "run" :: _ -> Error "usage: predlab query run ID"
+  | "sample" :: workloads ->
+    Ok (Serve.Protocol.Sample { workloads; seed; samples; confidence })
+  | "lint" :: workloads -> Ok (Serve.Protocol.Lint { workloads })
+  | [ "compare"; baseline_path; current_path ] ->
+    Result.bind (load_json_doc baseline_path) (fun baseline ->
+        Result.bind (load_json_doc current_path) (fun current ->
+            Ok (Serve.Protocol.Compare { baseline; current; tolerance })))
+  | "compare" :: _ ->
+    Error "usage: predlab query compare BASELINE.json CURRENT.json"
+  | [ "stats" ] -> Ok Serve.Protocol.Stats
+  | [ "shutdown" ] -> Ok Serve.Protocol.Shutdown
+  | _ -> Error query_usage
+
+(* The one-shot CLI prints sample/lint documents with [print_endline]
+   (trailing blank line) and run documents with [print_string]; replicate
+   per op so `query OP > a.json` and `predlab OP --format json > b.json`
+   compare byte-for-byte. *)
+let print_result ~op result =
+  let rendered = Prelude.Json.to_string_pretty result in
+  match op with
+  | "sample" | "lint" -> print_endline rendered
+  | _ -> print_string rendered
+
+let run_exit_of result =
+  let count name =
+    Option.bind (Prelude.Json.member name result) Prelude.Json.int_value
+  in
+  match count "crashed", count "timed_out" with
+  | Some c, _ when c > 0 -> 3
+  | _, Some t when t > 0 -> 3
+  | _ -> (
+      match count "experiments_passed", count "experiments_total" with
+      | Some p, Some t when p < t -> 1
+      | _ -> 0)
+
+let query socket connect_timeout deadline retries seed samples confidence
+    tolerance raw args =
+  let request_json =
+    match raw with
+    | Some line -> (
+        match Prelude.Json.parse line with
+        | Ok json -> json
+        | Error message ->
+          Printf.eprintf "predlab query: --raw: %s\n" message;
+          exit 2)
+    | None -> (
+        match
+          build_request ~retries ~seed ~samples ~confidence ~tolerance args
+        with
+        | Ok request ->
+          Serve.Protocol.request_to_json ?deadline_s:deadline request
+        | Error message ->
+          Printf.eprintf "predlab query: %s\n" message;
+          exit 2)
+  in
+  match Serve.Client.connect ~retry_for_s:connect_timeout socket with
+  | Error message ->
+    Printf.eprintf "predlab query: cannot connect: %s\n" message;
+    exit 2
+  | Ok client ->
+    let response =
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () -> Serve.Client.request client request_json)
+    in
+    (match response with
+     | Error message ->
+       Printf.eprintf "predlab query: %s\n" message;
+       exit 2
+     | Ok response -> (
+         let member name = Prelude.Json.member name response in
+         match member "ok" with
+         | Some (Prelude.Json.Bool true) ->
+           let op =
+             match Option.bind (member "op") Prelude.Json.string_value with
+             | Some op -> op
+             | None -> ""
+           in
+           let result =
+             Option.value ~default:Prelude.Json.Null (member "result")
+           in
+           print_result ~op result;
+           if op = "run" then
+             (match run_exit_of result with 0 -> () | code -> exit code);
+           if
+             op = "compare"
+             && Prelude.Json.member "passed" result
+                = Some (Prelude.Json.Bool false)
+           then exit 1
+         | Some (Prelude.Json.Bool false) ->
+           let error_message =
+             match
+               Option.bind (member "error") Prelude.Json.string_value
+             with
+             | Some m -> m
+             | None -> "unknown error"
+           in
+           Printf.eprintf "predlab query: %s\n" error_message;
+           let timed_out =
+             Option.bind (member "status") Prelude.Json.string_value
+             = Some "timed_out"
+           in
+           exit (if timed_out then 3 else 1)
+         | _ ->
+           Printf.eprintf "predlab query: malformed response envelope\n";
+           exit 2))
+
 let survey () =
   print_endline "Table 1: constructive approaches to predictability (part I)";
   print_string (Predictability.Survey.render Predictability.Survey.table1);
@@ -683,6 +839,93 @@ let program_cmd =
   Cmd.v (Cmd.info "program" ~doc:"Disassemble a workload's compiled program")
     Term.(const show_program $ workload_arg)
 
+let socket_arg =
+  Arg.(required
+       & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let cache_bound_arg =
+    Arg.(value
+         & opt positive_int Serve.Daemon.default_memo_bound
+         & info [ "cache-bound" ] ~docv:"N"
+             ~doc:"Upper bound on memoized T_p cells per workload engine \
+                   (FIFO eviction past it). The $(b,stats) op reports \
+                   occupancy.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident evaluation daemon: accept JSONL requests \
+             (eval/run/sample/lint/stats/shutdown) on a Unix-domain \
+             socket, answered from a shared memo-cached engine per \
+             workload. Result documents match the one-shot CLI's \
+             --format json output byte-for-byte. Blocks until a shutdown \
+             request; pair with $(b,predlab query).")
+    Term.(const serve $ socket_arg $ jobs_arg $ deadline_arg
+          $ cache_bound_arg)
+
+let query_cmd =
+  let connect_timeout_arg =
+    Arg.(value
+         & opt float 5.
+         & info [ "connect-timeout" ] ~docv:"SEC"
+             ~doc:"Keep retrying a refused connection for up to SEC \
+                   seconds — covers the daemon's startup window in \
+                   scripts.")
+  in
+  let seed_arg =
+    Arg.(value
+         & opt (some int) None
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Sampling seed for the $(b,sample) op (default: the \
+                   sampler's, as in `predlab sample`).")
+  in
+  let samples_arg =
+    Arg.(value
+         & opt (some positive_int) None
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Cell draws per workload for the $(b,sample) op.")
+  in
+  let confidence_arg =
+    Arg.(value
+         & opt (some float) None
+         & info [ "confidence" ] ~docv:"C"
+             ~doc:"CI coverage target for the $(b,sample) op.")
+  in
+  let tolerance_arg =
+    Arg.(value
+         & opt (some float) None
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Slowdown tolerance in percent for the $(b,compare) op \
+                   (default: the gate's, as in `predlab compare`).")
+  in
+  let raw_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Send LINE (a JSON request object) verbatim instead of \
+                   building one from the positional arguments.")
+  in
+  let args_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"OP"
+             ~doc:"Request: $(b,eval) WORKLOAD STATE INPUT; $(b,run) ID; \
+                   $(b,sample) [WORKLOAD...]; $(b,lint) [WORKLOAD...]; \
+                   $(b,compare) BASELINE.json CURRENT.json; $(b,stats); \
+                   $(b,shutdown).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running $(b,predlab serve) daemon and \
+             print the result document (for run/sample/lint: the same \
+             bytes the one-shot CLI prints under --format json). Exit \
+             status mirrors the CLI: 0 ok, 1 failed checks, 2 \
+             usage/connection error, 3 timed-out or crashed.")
+    Term.(const query $ socket_arg $ connect_timeout_arg $ deadline_arg
+          $ retries_arg $ seed_arg $ samples_arg $ confidence_arg
+          $ tolerance_arg $ raw_arg $ args_arg)
+
 let main =
   Cmd.group
     (Cmd.info "predlab" ~version:"1.0.0"
@@ -690,6 +933,7 @@ let main =
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
     [ list_cmd; run_cmd; all_cmd; chaos_cmd; stats_cmd; compare_cmd;
-      survey_cmd; workloads_cmd; program_cmd; lint_cmd; sample_cmd ]
+      survey_cmd; workloads_cmd; program_cmd; lint_cmd; sample_cmd;
+      serve_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main)

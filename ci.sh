@@ -91,3 +91,46 @@ dune exec bin/predlab.exe -- compare BENCH_0.json _build/resumed.json --toleranc
 # gracefully (every failure classified, retries recover transients) or the
 # supervisor has regressed.
 dune exec bin/predlab.exe -- chaos --jobs 2 --seed 1
+
+# Serve-daemon session. The daemon is exercised end to end over its socket:
+# a repeated cell query must flip from cache miss to cache hit (asserted
+# both in the per-response `cached` flag and in the stats counters), the
+# sample/lint result documents must be byte-identical to the one-shot CLI's
+# --format json output at the same --jobs, and shutdown must be clean (exit
+# 0, socket unlinked). The daemon runs from the built binary directly so
+# the backgrounded process does not contend for dune's build lock.
+PREDLAB=_build/default/bin/predlab.exe
+SOCK=_build/predlab-ci.sock
+rm -f "$SOCK"
+"$PREDLAB" serve --socket "$SOCK" --jobs 2 &
+SERVE_PID=$!
+"$PREDLAB" query --socket "$SOCK" eval clamp 0 0 > _build/serve-miss.json
+grep -q '"cached": false' _build/serve-miss.json
+"$PREDLAB" query --socket "$SOCK" eval clamp 0 0 > _build/serve-hit.json
+grep -q '"cached": true' _build/serve-hit.json
+"$PREDLAB" query --socket "$SOCK" stats > _build/serve-stats.json
+hits=$(sed -n 's/^ *"memo_hits": \([0-9]*\),*$/\1/p' _build/serve-stats.json)
+misses=$(sed -n 's/^ *"memo_misses": \([0-9]*\),*$/\1/p' _build/serve-stats.json)
+test "$hits" -ge 1
+test "$misses" -ge 1
+# Byte-identity: the daemon's sample/lint result documents are the CLI's.
+"$PREDLAB" query --socket "$SOCK" sample clamp > _build/serve-sample.json
+"$PREDLAB" sample --jobs 2 --format json clamp > _build/cli-sample.json
+cmp _build/serve-sample.json _build/cli-sample.json
+"$PREDLAB" query --socket "$SOCK" lint clamp > _build/serve-lint.json
+"$PREDLAB" lint --format json clamp > _build/cli-lint.json
+cmp _build/serve-lint.json _build/cli-lint.json
+# The daemon's regression gate: a report compared against itself passes.
+"$PREDLAB" run --format json EQ4 > _build/serve-compare-base.json
+"$PREDLAB" query --socket "$SOCK" compare \
+  _build/serve-compare-base.json _build/serve-compare-base.json \
+  > _build/serve-compare.json
+grep -q '"passed": true' _build/serve-compare.json
+# A per-request deadline overrun is classified, and the daemon survives it.
+"$PREDLAB" query --socket "$SOCK" --deadline 0.000001 run EQ4 \
+  > _build/serve-timeout.json && serve_status=0 || serve_status=$?
+test "$serve_status" -eq 3
+grep -q '"timed_out": 1' _build/serve-timeout.json
+"$PREDLAB" query --socket "$SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+test ! -e "$SOCK"

@@ -179,7 +179,10 @@ let supervise ~supervision ~writer (id, title, runner) =
     | Error (exn, _backtrace) ->
       let status = classify ~wall_s:timing.Report.wall_s exn in
       if n <= supervision.retries then begin
-        Unix.sleepf
+        (* Mono.sleep, not Unix.sleepf: sleepf returns early when a signal
+           interrupts it, and an under-slept backoff retries into the same
+           transient fault it was waiting out. *)
+        Prelude.Mono.sleep
           (Float.min backoff_cap_s
              (supervision.backoff_s *. (2. ** float_of_int (n - 1))));
         go (n + 1)

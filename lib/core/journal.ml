@@ -83,6 +83,34 @@ let close t =
     ~finally:(fun () -> Mutex.unlock t.mu)
     (fun () -> close_out t.channel)
 
+(* Durability helper shared with the atomic-report writer: after a rename,
+   the new directory entry lives in the parent directory's metadata, and
+   only an fsync of the directory itself forces that to disk — fsyncing
+   the data fd alone leaves a window where a crash rolls the rename back.
+   Best-effort by design: some filesystems refuse fsync on a directory fd
+   (EINVAL), which loses nothing relative to not calling it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Atomic, durable document write: temp file in the same directory, data
+   fsync, rename over the destination, parent-directory fsync. A crash at
+   any point leaves either the complete old document or the complete new
+   one — and once [write_atomic] returns, the new one survives power
+   loss, not just process death. *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc contents;
+      Out_channel.flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error _ -> Ok []

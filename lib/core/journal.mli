@@ -50,6 +50,15 @@ val close : writer -> unit
 val entry_to_json : entry -> Prelude.Json.t
 val entry_of_json : Prelude.Json.t -> (entry, string) Stdlib.result
 
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents]: write a whole document atomically {e and}
+    durably — temp file beside [path], data fsync, rename, then an fsync
+    of the parent directory (without which a crash shortly after the
+    rename can roll it back, losing the new document even though the
+    rename "succeeded"). Used by the [--out] report path and the serve
+    daemon. Raises [Sys_error]/[Unix.Unix_error] if the write or rename
+    fails; the directory fsync itself is best-effort. *)
+
 val load : string -> (entry list, string) Stdlib.result
 (** Entries in file order ([Ok []] if the file does not exist — resuming
     from a journal that was never written is an empty resume, not an

@@ -30,11 +30,23 @@ type scratch = {
   mutable s_trace : Trace.compiled option;
 }
 
+(* The memo table, optionally size-bounded for resident use (the serve
+   daemon): [order] remembers insertion order and the oldest entries are
+   evicted first once [bound] is exceeded. FIFO rather than LRU on
+   purpose — eviction happens under the engine mutex on the insert path,
+   and promoting entries on every hit would turn the cheap lookup into a
+   queue splice. Unbounded engines skip the queue entirely. *)
+type memo_table = {
+  cells : (string, int) Hashtbl.t;
+  order : string Queue.t;
+  bound : int option;
+}
+
 type t = {
   program : Isa.Program.t;
   digest : int;
   cfg : Dataflow.Cfg.t;
-  memo : (string, int) Hashtbl.t option;
+  memo : memo_table option;
   traces : (string, Trace.compiled) Hashtbl.t;
   summaries : (string, Summary.t) Hashtbl.t;
   classes : (Classify.features, bool array) Hashtbl.t;
@@ -43,11 +55,20 @@ type t = {
   mu : Mutex.t;
 }
 
-let create ?(memo = true) program =
+let create ?(memo = true) ?memo_bound program =
+  (match memo_bound with
+   | Some b when b < 1 ->
+     invalid_arg "Fastpath.Engine.create: memo_bound must be >= 1"
+   | _ -> ());
   { program;
     digest = Isa.Program.digest program;
     cfg = Dataflow.Cfg.build program;
-    memo = (if memo then Some (Hashtbl.create 1024) else None);
+    memo =
+      (if memo then
+         Some
+           { cells = Hashtbl.create 1024; order = Queue.create ();
+             bound = memo_bound }
+       else None);
     traces = Hashtbl.create 64;
     summaries = Hashtbl.create 64;
     classes = Hashtbl.create 8;
@@ -58,6 +79,8 @@ let create ?(memo = true) program =
     mu = Mutex.create () }
 
 let memoized t = t.memo <> None
+
+let memo_bound t = Option.bind t.memo (fun m -> m.bound)
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -190,6 +213,23 @@ let run_cell p (sum : Summary.t) (tr : Trace.compiled) =
   done;
   !cyc
 
+let memo_size t =
+  match t.memo with
+  | None -> 0
+  | Some m -> with_lock t (fun () -> Hashtbl.length m.cells)
+
+let memo_insert m key v =
+  if not (Hashtbl.mem m.cells key) then begin
+    Hashtbl.replace m.cells key v;
+    match m.bound with
+    | None -> ()
+    | Some bound ->
+      Queue.push key m.order;
+      while Hashtbl.length m.cells > bound do
+        Hashtbl.remove m.cells (Queue.pop m.order)
+      done
+  end
+
 let cell t p st tr =
   match t.memo with
   | None ->
@@ -197,7 +237,7 @@ let cell t p st tr =
     run_cell p sum tr
   | Some memo -> (
       let key = p.skey ^ "#" ^ tr.Trace.key in
-      match with_lock t (fun () -> Hashtbl.find_opt memo key) with
+      match with_lock t (fun () -> Hashtbl.find_opt memo.cells key) with
       | Some v ->
         Prelude.Instrument.add_memo_hits 1;
         v
@@ -205,7 +245,7 @@ let cell t p st tr =
         Prelude.Instrument.add_memo_misses 1;
         let sum = summary_for t ~ctx:p.ctx ~pure:p.pure st tr in
         let v = run_cell p sum tr in
-        with_lock t (fun () -> Hashtbl.replace memo key v);
+        with_lock t (fun () -> memo_insert memo key v);
         v)
 
 let time t st input =

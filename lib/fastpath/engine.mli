@@ -22,10 +22,21 @@
 
 type t
 
-val create : ?memo:bool -> Isa.Program.t -> t
-(** [memo] defaults to [true]; [create ~memo:false] replays every cell. *)
+val create : ?memo:bool -> ?memo_bound:int -> Isa.Program.t -> t
+(** [memo] defaults to [true]; [create ~memo:false] replays every cell.
+    [memo_bound] (default: unbounded) caps the memo table at that many
+    cells, evicting the oldest-inserted entries first — the resident-
+    daemon configuration, where an unbounded cache is a slow memory leak.
+    Eviction only ever costs extra replays, never wrong values.
+    @raise Invalid_argument on [memo_bound < 1]. *)
 
 val memoized : t -> bool
+
+val memo_size : t -> int
+(** Memoised cells currently held (0 when [memo] is off). *)
+
+val memo_bound : t -> int option
+(** The configured cap, if any. *)
 
 val time : t -> Pipeline.Inorder.state -> Isa.Exec.input -> int
 (** Drop-in for {!Pipeline.Inorder.time} (bit-identical). *)

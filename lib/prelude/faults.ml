@@ -54,7 +54,7 @@ let armed () = Atomic.get plan <> []
 let perform name = function
   | Raise -> raise (Injected name)
   | Timeout -> raise (Forced_timeout name)
-  | Delay s -> if s > 0. then Unix.sleepf s
+  | Delay s -> Mono.sleep s
 
 let point name =
   match Atomic.get plan with

@@ -27,4 +27,9 @@ let add_memo_misses n =
   let r = Domain.DLS.get key in
   r := { !r with memo_misses = !r.memo_misses + n }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic on purpose: every caller subtracts two readings (experiment
+   wall_s, supervisor deadlines, bench samples), and wall-clock time jumps
+   under NTP adjustment — which once made a deadline fire spuriously the
+   moment the clock stepped. Use [Unix.gettimeofday] only for timestamps
+   meant to be compared with the outside world. *)
+let now () = Mono.now ()

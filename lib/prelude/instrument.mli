@@ -31,4 +31,7 @@ val add_memo_hits : int -> unit
 val add_memo_misses : int -> unit
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]). *)
+(** Monotonic seconds ({!Mono.now}): safe for interval and deadline math,
+    immune to NTP/wall-clock adjustment. Readings are relative to an
+    arbitrary process-lifetime origin — take differences, never treat one
+    as a timestamp. *)

@@ -32,9 +32,16 @@ let escape_string s =
 (* Shortest %.Ng rendering that parses back to exactly the same double:
    reprinting the parsed value re-runs the same deterministic search, so the
    text is a fixed point (the stability the .mli promises). %.17g always
-   round-trips IEEE doubles, so the search terminates. *)
+   round-trips IEEE doubles, so the search terminates.
+
+   Non-finite floats raise: JSON has no nan/infinity literal, and the old
+   silent [null] coercion meant a long-running emitter could corrupt a
+   document (a number field becoming null) without anyone noticing. *)
 let float_string f =
-  if not (Float.is_finite f) then "null"
+  if not (Float.is_finite f) then
+    invalid_arg
+      (Printf.sprintf "Json: cannot emit non-finite float %h (JSON has no \
+                       nan/infinity; encode such values explicitly)" f)
   else begin
     let rec search p =
       let s = Printf.sprintf "%.*g" p f in
@@ -221,12 +228,21 @@ let parse input =
       | _ -> (pos, is_float)
     in
     let text = String.sub input start (pos - start) in
+    (* A grammatically valid literal can still overflow the double range
+       ([1e400] parses to [infinity]); accepting it would hand callers a
+       value the emitter must refuse, so the round trip parse-emit-parse
+       would break. Reject it here instead. *)
+    let finite_float () =
+      let f = float_of_string text in
+      if Float.is_finite f then Float f
+      else fail start "number out of double range"
+    in
     let value =
-      if is_float then Float (float_of_string text)
+      if is_float then finite_float ()
       else
         match int_of_string_opt text with
         | Some i -> Int i
-        | None -> Float (float_of_string text)  (* beyond native int range *)
+        | None -> finite_float ()  (* beyond native int range *)
     in
     (value, pos)
   in

@@ -1,0 +1,28 @@
+(* CLOCK_MONOTONIC reading, rebased to a process-lifetime origin so the
+   float conversion keeps full nanosecond resolution for centuries of
+   uptime rather than burning mantissa bits on the system's boot offset. *)
+
+let origin_ns = Monotonic_clock.now ()
+
+let now_ns () = Int64.sub (Monotonic_clock.now ()) origin_ns
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+(* Sleep measured on the monotonic clock: [Unix.sleepf] returns early when
+   a signal arrives (either raising EINTR or returning silently after the
+   handler runs, depending on the platform), and its duration argument is
+   serviced by the kernel against CLOCK_REALTIME on some systems. Looping
+   until the monotonic deadline covers both failure modes. *)
+let sleep duration =
+  if duration > 0. then begin
+    let deadline = now () +. duration in
+    let rec wait () =
+      let remaining = deadline -. now () in
+      if remaining > 0. then begin
+        (try Unix.sleepf remaining
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        wait ()
+      end
+    in
+    wait ()
+  end

@@ -1,0 +1,33 @@
+(** Monotonic time for all interval math: deadlines, backoff, bench and
+    experiment timings.
+
+    [Unix.gettimeofday] is wall-clock time — NTP slews and steps it, the
+    administrator can set it, and a leap-second smear bends it. Any
+    subtraction of two wall-clock readings (a supervisor deadline, a
+    retry backoff, a bench sample) silently inherits those jumps: a
+    long-running daemon can observe a deadline "expire" the moment the
+    clock steps forward, or a bench kernel report negative elapsed time.
+    This module reads [CLOCK_MONOTONIC] (via the bechamel monotonic-clock
+    binding, a dependency-free-at-runtime stub over [clock_gettime]),
+    which by construction never goes backwards and is immune to clock
+    adjustment.
+
+    Readings are seconds since an arbitrary process-lifetime origin (the
+    first read of the clock at module initialisation) — meaningful only
+    as differences, never as timestamps. The clock is system-wide, so
+    differences taken across domains are coherent. *)
+
+val now : unit -> float
+(** Monotonic seconds since the process-lifetime origin. Non-decreasing
+    across successive calls on any domain. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic reading in nanoseconds (same origin as {!now});
+    for callers that want to defer the float conversion. *)
+
+val sleep : float -> unit
+(** Sleep at least this many {e monotonic} seconds. [Unix.sleepf] both
+    under-sleeps when a signal interrupts it (EINTR) and measures against
+    the wall clock; this loops on the monotonic clock until the full
+    duration has elapsed, swallowing EINTR. Non-positive durations return
+    immediately. *)

@@ -1,0 +1,48 @@
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect ?(retry_for_s = 0.) path =
+  let deadline = Prelude.Mono.now () +. retry_for_s in
+  let attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      Ok { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error exn
+  in
+  let rec go () =
+    match attempt () with
+    | Ok t -> Ok t
+    | Error _ when Prelude.Mono.now () < deadline ->
+      Prelude.Mono.sleep 0.02;
+      go ()
+    | Error exn ->
+      Error (Printf.sprintf "%s: %s" path (Printexc.to_string exn))
+  in
+  go ()
+
+let request t json =
+  match
+    output_string t.oc (Prelude.Json.to_string json);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    Error "connection closed while sending"
+  | () -> (
+      match input_line t.ic with
+      | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+        Error "connection closed before a response arrived"
+      | line -> (
+          match Prelude.Json.parse line with
+          | Ok response -> Ok response
+          | Error message -> Error ("unparseable response: " ^ message)))
+
+let close t =
+  (* ic and oc share the socket fd; closing the output side flushes and
+     closes both. *)
+  try close_out t.oc with Sys_error _ -> ()

@@ -1,0 +1,18 @@
+(** Client side of the {!Protocol} JSONL wire: connect, one
+    request-response round trip per call, close. Used by [predlab query]
+    and the test_serve suite. *)
+
+type t
+
+val connect : ?retry_for_s:float -> string -> (t, string) result
+(** Connect to a daemon's Unix-domain socket. With [retry_for_s > 0]
+    (measured on the monotonic clock) a refused connection is retried
+    until the budget runs out — the "daemon still starting up" window in
+    scripted sessions. *)
+
+val request : t -> Prelude.Json.t -> (Prelude.Json.t, string) result
+(** Send one request line, read one response line, parse it. [Error] on a
+    closed connection or an unparseable response (a daemon bug, not a
+    request error — request errors come back as [ok: false] envelopes). *)
+
+val close : t -> unit

@@ -1,0 +1,419 @@
+module Json = Prelude.Json
+
+type config = {
+  socket : string;
+  jobs : int;
+  deadline_s : float option;
+  memo_bound : int;
+}
+
+let default_memo_bound = 65536
+
+exception Busy of string
+
+(* One resident engine per workload: the engine owns the compiled traces,
+   block summaries and the bounded T_p memo; the arrays pin the standard
+   uncertainty sets so eval requests address cells by index. *)
+type entry = {
+  e_engine : Fastpath.Engine.t;
+  e_states : Pipeline.Inorder.state array;
+  e_inputs : Isa.Exec.input array;
+}
+
+type t = {
+  config : config;
+  listener : Unix.file_descr;
+  engines : (string, entry) Hashtbl.t;
+  base_counts : Prelude.Instrument.counts;
+  started : float;  (* Mono.now at listen time *)
+  mutable served : int;
+  mutable errors : int;
+  mutable in_flight : int;
+  mutable stopping : bool;
+}
+
+let unknown_workload name =
+  Printf.sprintf "unknown workload %S; try the stats op or `predlab \
+                  workloads` for the registry" name
+
+let entry_for t name =
+  match Hashtbl.find_opt t.engines name with
+  | Some e -> Ok e
+  | None -> (
+      match List.assoc_opt name Isa.Workload.registry with
+      | None -> Error (unknown_workload name)
+      | Some make ->
+        let w = make () in
+        let program, _ = Isa.Workload.program w in
+        let e =
+          { e_engine =
+              Fastpath.Engine.create ~memo:true
+                ~memo_bound:t.config.memo_bound program;
+            e_states =
+              Array.of_list (Predictability.Harness.inorder_states program w);
+            e_inputs =
+              Array.of_list
+                (Prelude.Listx.take Predictability.Sampled.input_cap
+                   w.Isa.Workload.inputs) }
+        in
+        Hashtbl.replace t.engines name e;
+        Ok e)
+
+(* Mirror of the CLI's positional-workload handling: empty list = the whole
+   registry, any unknown name is a request error (not a daemon death). *)
+let select_workloads names =
+  match names with
+  | [] -> Ok Isa.Workload.registry
+  | names ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match List.assoc_opt name Isa.Workload.registry with
+          | Some make -> go ((name, make) :: acc) rest
+          | None -> Error (unknown_workload name))
+    in
+    go [] names
+
+(* --- Request handlers ---------------------------------------------------
+
+   Each returns a complete response envelope. The run/sample/lint result
+   documents are built by exactly the functions the one-shot CLI's
+   [--format json] path uses, so a client rendering [result] with the
+   pretty emitter reproduces the CLI's bytes. *)
+
+let handle_eval t ~workload ~state ~input =
+  match entry_for t workload with
+  | Error message -> Protocol.error ~op:"eval" message
+  | Ok e ->
+    let n_states = Array.length e.e_states
+    and n_inputs = Array.length e.e_inputs in
+    if state < 0 || state >= n_states then
+      Protocol.error ~op:"eval"
+        (Printf.sprintf "state index %d out of range (workload %S has %d \
+                         states)" state workload n_states)
+    else if input < 0 || input >= n_inputs then
+      Protocol.error ~op:"eval"
+        (Printf.sprintf "input index %d out of range (workload %S has %d \
+                         inputs)" input workload n_inputs)
+    else begin
+      let before = Prelude.Instrument.snapshot () in
+      let time =
+        Fastpath.Engine.time e.e_engine e.e_states.(state) e.e_inputs.(input)
+      in
+      let after = Prelude.Instrument.snapshot () in
+      let cached =
+        after.Prelude.Instrument.memo_hits
+        > before.Prelude.Instrument.memo_hits
+      in
+      Protocol.ok ~op:"eval"
+        (Json.Obj
+           [ ("schema", Json.String "predlab/serve-eval");
+             ("version", Json.Int 1);
+             ("workload", Json.String workload);
+             ("state", Json.Int state);
+             ("input", Json.Int input);
+             ("time_cycles", Json.Int time);
+             ("cached", Json.Bool cached) ])
+    end
+
+let handle_run t ~id ~retries ~deadline_s =
+  match Predictability.Experiments.lookup id with
+  | Error message -> Protocol.error ~op:"run" message
+  | Ok entry ->
+    let supervision =
+      { Predictability.Experiments.default_supervision with
+        deadline_s; retries }
+    in
+    let results, elapsed_s =
+      Predictability.Harness.elapsed (fun () ->
+          Predictability.Experiments.run_supervised ~jobs:t.config.jobs
+            ~supervision ~entries:[ entry ] ())
+    in
+    Protocol.ok ~op:"run"
+      (Predictability.Experiments.supervised_to_json ~jobs:t.config.jobs
+         ~elapsed_s results)
+
+let handle_sample t ~workloads ~seed ~samples ~confidence =
+  match select_workloads workloads with
+  | Error message -> Protocol.error ~op:"sample" message
+  | Ok selected ->
+    let default = Sampling.Sampler.default in
+    let spec =
+      { default with
+        Sampling.Sampler.seed =
+          Option.value ~default:default.Sampling.Sampler.seed seed;
+        n_cells =
+          Option.value ~default:default.Sampling.Sampler.n_cells samples;
+        confidence =
+          Option.value ~default:default.Sampling.Sampler.confidence
+            confidence }
+    in
+    let rows =
+      List.map
+        (fun entry ->
+           Predictability.Sampled.analyze ~jobs:t.config.jobs ~spec
+             ~cross_check:false entry)
+        selected
+    in
+    Protocol.ok ~op:"sample"
+      (Predictability.Sampled.report_to_json ~jobs:t.config.jobs rows)
+
+let handle_lint ~workloads =
+  match select_workloads workloads with
+  | Error message -> Protocol.error ~op:"lint" message
+  | Ok selected ->
+    let targets =
+      List.map
+        (fun (name, make) -> (name, Dataflow.Lint.check_workload (make ())))
+        selected
+    in
+    Protocol.ok ~op:"lint" (Dataflow.Lint.report_to_json targets)
+
+let handle_compare ~baseline ~current ~tolerance =
+  let findings =
+    match tolerance with
+    | None -> Predictability.Regression.compare_reports ~baseline ~current ()
+    | Some tolerance_pct ->
+      Predictability.Regression.compare_reports ~tolerance_pct ~baseline
+        ~current ()
+  in
+  Protocol.ok ~op:"compare"
+    (Json.Obj
+       [ ("schema", Json.String "predlab/serve-compare");
+         ("version", Json.Int 1);
+         ("passed", Json.Bool (findings = []));
+         ("findings",
+          Json.List
+            (List.map
+               (fun f ->
+                  Json.Obj
+                    [ ("kind",
+                       Json.String
+                         (Predictability.Regression.kind_string
+                            f.Predictability.Regression.kind));
+                      ("subject",
+                       Json.String f.Predictability.Regression.subject);
+                      ("detail",
+                       Json.String f.Predictability.Regression.detail) ])
+               findings)) ])
+
+let handle_stats t =
+  let counts = Prelude.Instrument.snapshot () in
+  let delta field = field counts - field t.base_counts in
+  let engines =
+    Hashtbl.fold
+      (fun name e acc ->
+         (name,
+          Json.Obj
+            [ ("workload", Json.String name);
+              ("memo_cells", Json.Int (Fastpath.Engine.memo_size e.e_engine));
+              ("states", Json.Int (Array.length e.e_states));
+              ("inputs", Json.Int (Array.length e.e_inputs)) ])
+         :: acc)
+      t.engines []
+  in
+  let engines =
+    List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) engines)
+  in
+  let memo_cells =
+    Hashtbl.fold
+      (fun _ e acc -> acc + Fastpath.Engine.memo_size e.e_engine)
+      t.engines 0
+  in
+  Protocol.ok ~op:"stats"
+    (Json.Obj
+       [ ("schema", Json.String "predlab/serve-stats");
+         ("version", Json.Int 1);
+         ("uptime_s", Json.Float (Prelude.Mono.now () -. t.started));
+         ("jobs", Json.Int t.config.jobs);
+         ("served", Json.Int t.served);
+         ("errors", Json.Int t.errors);
+         ("in_flight", Json.Int t.in_flight);
+         ("memo_hits", Json.Int (delta (fun c -> c.Prelude.Instrument.memo_hits)));
+         ("memo_misses",
+          Json.Int (delta (fun c -> c.Prelude.Instrument.memo_misses)));
+         ("evals", Json.Int (delta (fun c -> c.Prelude.Instrument.evals)));
+         ("cells", Json.Int (delta (fun c -> c.Prelude.Instrument.cells)));
+         ("memo_cells", Json.Int memo_cells);
+         ("memo_bound", Json.Int t.config.memo_bound);
+         ("engines", Json.List engines) ])
+
+let handle_shutdown t =
+  Protocol.ok ~op:"shutdown"
+    (Json.Obj
+       [ ("schema", Json.String "predlab/serve-shutdown");
+         ("version", Json.Int 1);
+         ("stopping", Json.Bool true);
+         ("served", Json.Int (t.served + 1));
+         ("uptime_s", Json.Float (Prelude.Mono.now () -. t.started)) ])
+
+(* --- Dispatch ------------------------------------------------------------
+
+   Every non-[run] request runs under the daemon's (or the request's)
+   cooperative deadline; an overrun — detected at a Parallel checkpoint or
+   post-hoc — becomes a [timed_out] error envelope, never a daemon death.
+   [run] requests instead hand the budget to the experiment supervisor,
+   which classifies the overrun inside the report document, exactly like
+   the one-shot [predlab run --deadline]. *)
+
+let guarded deadline_s f =
+  match deadline_s with
+  | None -> f ()
+  | Some deadline_s -> Prelude.Parallel.with_deadline ~deadline_s f
+
+let dispatch t (request, deadline_override) =
+  let op = Protocol.op_name request in
+  let deadline_s =
+    match deadline_override with
+    | Some _ as d -> d
+    | None -> t.config.deadline_s
+  in
+  let timed_out after_s =
+    Protocol.error ~op
+      ~fields:
+        [ ("status", Json.String "timed_out");
+          ("after_s", Json.Float after_s) ]
+      "timed_out"
+  in
+  match request with
+  | Protocol.Run { id; retries } -> (
+      match handle_run t ~id ~retries ~deadline_s with
+      | response -> response
+      | exception Invalid_argument message -> Protocol.error ~op message
+      | exception exn -> Protocol.error ~op (Printexc.to_string exn))
+  | Protocol.Shutdown -> handle_shutdown t
+  | request -> (
+      let handler () =
+        match request with
+        | Protocol.Eval { workload; state; input } ->
+          handle_eval t ~workload ~state ~input
+        | Protocol.Sample { workloads; seed; samples; confidence } ->
+          handle_sample t ~workloads ~seed ~samples ~confidence
+        | Protocol.Lint { workloads } -> handle_lint ~workloads
+        | Protocol.Compare { baseline; current; tolerance } ->
+          handle_compare ~baseline ~current ~tolerance
+        | Protocol.Stats -> handle_stats t
+        | Protocol.Run _ | Protocol.Shutdown -> assert false
+      in
+      match guarded deadline_s handler with
+      | response -> response
+      | exception Prelude.Parallel.Deadline_exceeded { elapsed_s; _ } ->
+        timed_out elapsed_s
+      | exception Prelude.Faults.Forced_timeout _ ->
+        timed_out (Option.value ~default:0. deadline_s)
+      | exception Invalid_argument message -> Protocol.error ~op message
+      | exception exn -> Protocol.error ~op (Printexc.to_string exn))
+
+let is_error = function
+  | Json.Obj fields -> List.assoc_opt "ok" fields = Some (Json.Bool false)
+  | _ -> false
+
+(* One request line in, one response line out. Returns [true] when the
+   daemon should stop (a shutdown response has been flushed). *)
+let process t line =
+  let response, stop =
+    match Json.parse line with
+    | Error message -> (Protocol.error ("parse error: " ^ message), false)
+    | Ok json -> (
+        match Protocol.request_of_json json with
+        | Error message -> (Protocol.error message, false)
+        | Ok ((request, _) as parsed) ->
+          t.in_flight <- t.in_flight + 1;
+          let response =
+            Fun.protect
+              ~finally:(fun () -> t.in_flight <- t.in_flight - 1)
+              (fun () -> dispatch t parsed)
+          in
+          (response, request = Protocol.Shutdown && not (is_error response)))
+  in
+  if is_error response then t.errors <- t.errors + 1
+  else t.served <- t.served + 1;
+  (Json.to_string response, stop)
+
+(* --- Socket plumbing ---------------------------------------------------- *)
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        let response, stop = process t line in
+        output_string oc response;
+        output_char oc '\n';
+        flush oc;
+        if stop then t.stopping <- true else loop ()
+  in
+  (* A connection dying mid-line (EPIPE/ECONNRESET surfacing as Sys_error
+     or Unix_error from the channel layer) must never take the daemon
+     down — the next accept carries on. *)
+  (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen config =
+  if Sys.file_exists config.socket then begin
+    (* Distinguish a live daemon from the stale socket file a killed one
+       leaves behind: probe with a connect. *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX config.socket) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      raise (Busy (config.socket ^ ": a daemon is already listening"));
+    Unix.unlink config.socket
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX config.socket);
+     Unix.listen fd 16
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  fd
+
+let validate config =
+  if config.jobs < 1 then
+    invalid_arg "Serve.Daemon.run: jobs must be >= 1";
+  if config.memo_bound < 1 then
+    invalid_arg "Serve.Daemon.run: memo_bound must be >= 1";
+  match config.deadline_s with
+  | Some d when d <= 0. ->
+    invalid_arg "Serve.Daemon.run: deadline must be > 0"
+  | _ -> ()
+
+let run ?(on_ready = fun () -> ()) config =
+  validate config;
+  (* Writing to a client that hung up raises EPIPE; without this the
+     default SIGPIPE disposition kills the process instead. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listener = listen config in
+  let t =
+    { config; listener;
+      engines = Hashtbl.create 8;
+      base_counts = Prelude.Instrument.snapshot ();
+      started = Prelude.Mono.now ();
+      served = 0; errors = 0; in_flight = 0; stopping = false }
+  in
+  let finish () =
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    try Unix.unlink config.socket with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      on_ready ();
+      let rec accept_loop () =
+        if not t.stopping then
+          match Unix.accept t.listener with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | fd, _ ->
+            serve_connection t fd;
+            accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,48 @@
+(** The [predlab serve] daemon: a memo-cached evaluation service over a
+    Unix-domain socket.
+
+    One process, one listener, one request at a time (requests themselves
+    fan out over the {!Prelude.Parallel} domain pool): connections are
+    accepted in order and each connection's JSONL requests are answered in
+    order ({!Protocol}). What makes the daemon pay off is residency — the
+    per-workload fast-path engines ({!Fastpath.Engine}), their compiled
+    traces, block summaries and {e size-bounded} [T_p(q,i)] memo tables
+    (keyed by program digest, packed state, packed input) persist across
+    requests and across connections, so repeated traffic is answered from
+    cache. [run]-op experiments execute under the PR 5 supervisor plane:
+    per-request isolation, cooperative deadlines classified as
+    [timed_out], optional retries — a request can fail; the daemon does
+    not.
+
+    Failure containment invariants (the test_serve suite gates all of
+    them): a malformed request line yields one error envelope and leaves
+    the connection open; a crashing or deadline-blown request yields an
+    error (or [timed_out]-status) envelope and leaves the daemon serving;
+    a dropped connection never kills the accept loop; responses are
+    bit-identical for any [jobs] count. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (length-limited by the OS) *)
+  jobs : int;  (** worker domains for request evaluation *)
+  deadline_s : float option;
+      (** default per-request cooperative budget; a request's ["deadline"]
+          field overrides it *)
+  memo_bound : int;
+      (** per-workload cap on memoised [T_p] cells (oldest evicted
+          first) — resident processes must not grow without bound *)
+}
+
+val default_memo_bound : int
+(** 65536 cells per workload engine. *)
+
+exception Busy of string
+(** Raised by {!run} when a live daemon already listens on the socket
+    (a dead daemon's stale socket file is silently replaced). *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Serve until a [shutdown] request arrives, then close the listener,
+    unlink the socket and return. [on_ready] fires once the socket is
+    listening (before the first accept) — test scaffolding.
+    @raise Busy, [Unix.Unix_error] or [Sys_error] on setup failure;
+    @raise Invalid_argument on a non-positive [jobs]/[memo_bound] or
+    non-positive [deadline_s]. *)

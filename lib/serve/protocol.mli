@@ -1,0 +1,71 @@
+(** The wire protocol of [predlab serve]: JSONL over a Unix-domain socket.
+
+    One compact JSON object per line in each direction. Requests carry an
+    ["op"] discriminator; responses are an envelope
+    [{"ok": true, "op": OP, "result": DOC}] or
+    [{"ok": false, "op": OP?, "error": MSG, ...}] — where [DOC] for the
+    [run]/[sample]/[lint] ops is {e exactly} the document the one-shot CLI
+    prints under [--format json] (same schema, same emitter), so a serve
+    client and a batch run are byte-comparable.
+
+    Request forms:
+    {v
+    {"op":"eval","workload":"clamp","state":0,"input":3}
+    {"op":"run","id":"EQ4","deadline":5.0,"retries":1}
+    {"op":"sample","workloads":["clamp"],"seed":7,"samples":256,
+     "confidence":0.99}
+    {"op":"lint","workloads":[]}
+    {"op":"compare","baseline":DOC,"current":DOC,"tolerance":50}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    v}
+    Omitted optional fields take the daemon's (or the sampler's)
+    defaults; an empty [workloads] list means the whole registry, like
+    the CLI's positional default. Any request may carry a ["deadline"]
+    (seconds) overriding the daemon-wide per-request budget. *)
+
+type request =
+  | Eval of { workload : string; state : int; input : int }
+      (** one [T_p(q, i)] cell: indexes into the standard uncertainty
+          sets ({!Predictability.Harness.inorder_states} and the
+          workload's admissible inputs, capped at
+          {!Predictability.Sampled.input_cap}) *)
+  | Run of { id : string; retries : int }
+  | Sample of {
+      workloads : string list;
+      seed : int option;
+      samples : int option;
+      confidence : float option;
+    }
+  | Lint of { workloads : string list }
+  | Compare of {
+      baseline : Prelude.Json.t;
+      current : Prelude.Json.t;
+      tolerance : float option;
+    }
+      (** the regression gate over two embedded report documents
+          ({!Predictability.Regression.compare_reports}); [tolerance] in
+          percent, defaulting to the gate's own 50 *)
+  | Stats
+  | Shutdown
+
+val op_name : request -> string
+(** The wire ["op"] string. *)
+
+val request_to_json : ?deadline_s:float -> request -> Prelude.Json.t
+(** What the client sends; [deadline_s] adds the per-request override. *)
+
+val request_of_json :
+  Prelude.Json.t -> (request * float option, string) result
+(** Parse a request line's JSON; the [float option] is the per-request
+    ["deadline"] override. [Error] messages are what the daemon echoes in
+    its error envelope. *)
+
+val ok : op:string -> Prelude.Json.t -> Prelude.Json.t
+(** Success envelope around a result document. *)
+
+val error :
+  ?op:string -> ?fields:(string * Prelude.Json.t) list -> string ->
+  Prelude.Json.t
+(** Failure envelope; [fields] splices extra detail (e.g.
+    [("after_s", ...)] on a timed-out request). *)

@@ -372,12 +372,57 @@ let test_json_float_formatting () =
        Alcotest.(check (option (float 0.))) "exact through parse" (Some f)
          (J.float_value (J.parse_exn (J.float_string f))))
     [ 0.125; 0.1; 1e300; -2.5e-7 ];
-  (* Non-finite floats have no JSON representation: emitted as null. *)
-  Alcotest.(check string) "nan -> null" "null" (J.float_string Float.nan);
-  Alcotest.(check string) "inf -> null" "null"
-    (J.float_string Float.infinity);
-  Alcotest.(check string) "-inf -> null" "null"
-    (J.float_string Float.neg_infinity)
+  (* Non-finite floats have no JSON representation: the emitter refuses
+     them loudly instead of silently writing null (a caller that wants
+     null writes Json.Null explicitly, like lib/sampling/estimate.ml). *)
+  List.iter
+    (fun f ->
+       match J.float_string f with
+       | s -> Alcotest.failf "emitted %S for a non-finite float" s
+       | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  List.iter
+    (fun f ->
+       match J.to_string (J.Obj [ ("x", J.Float f) ]) with
+       | s -> Alcotest.failf "document emitter produced %S" s
+       | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* Regression: `1e400` used to parse to [Float infinity] — a value the
+   emitter cannot round-trip. Out-of-double-range literals are now parse
+   errors; everything representable still gets through. *)
+let test_json_overflow_rejected () =
+  let module J = Prelude.Json in
+  List.iter
+    (fun bad ->
+       match J.parse bad with
+       | Ok j -> Alcotest.failf "accepted %S as %s" bad (J.to_string j)
+       | Error message ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%S error mentions range: %s" bad message)
+           true
+           (let lowered = String.lowercase_ascii message in
+            let contains needle =
+              let n = String.length needle and l = String.length lowered in
+              let rec go i =
+                i + n <= l && (String.sub lowered i n = needle || go (i + 1))
+              in
+              go 0
+            in
+            contains "range"))
+    [ "1e400"; "-1e400"; "1e999"; "[1e400]"; "{\"x\": -1.5e400}";
+      (* An integer literal too wide for both int and double. *)
+      "1" ^ String.make 400 '0' ];
+  (* The edge of the representable range still parses. *)
+  List.iter
+    (fun good ->
+       match J.parse good with
+       | Ok (J.Float f) ->
+         Alcotest.(check bool) (good ^ " parses finite") true
+           (Float.is_finite f)
+       | Ok j -> Alcotest.failf "%S parsed as %s" good (J.to_string j)
+       | Error m -> Alcotest.failf "%S rejected: %s" good m)
+    [ "1e308"; "1.7976931348623157e308"; "-1e308"; "2.5e-324" ]
 
 let test_json_parser () =
   let module J = Prelude.Json in
@@ -429,6 +474,83 @@ let prop_json_round_trip =
     (fun j ->
        J.parse_exn (J.to_string j) = j
        && J.parse_exn (J.to_string_pretty j) = j)
+
+(* --- Mono ---------------------------------------------------------------
+   The monotonic clock behind every deadline and elapsed-time measurement:
+   it must never run backwards and its sleep must deliver the full duration
+   even when signals interrupt the underlying nanosleep (regression for the
+   wall-clock Unix.gettimeofday it replaced, which jumps under NTP). *)
+
+let test_mono_nondecreasing () =
+  let last = ref (Prelude.Mono.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Prelude.Mono.now () in
+    if t < !last then
+      Alcotest.failf "clock ran backwards: %.9f after %.9f" t !last;
+    last := t
+  done;
+  let a = Prelude.Mono.now_ns () in
+  let b = Prelude.Mono.now_ns () in
+  Alcotest.(check bool) "now_ns non-decreasing" true (Int64.compare a b <= 0)
+
+let test_mono_sleep_duration () =
+  let t0 = Prelude.Mono.now () in
+  Prelude.Mono.sleep 0.02;
+  let elapsed = Prelude.Mono.now () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slept the full budget (%.4fs)" elapsed)
+    true (elapsed >= 0.02);
+  (* Zero and negative durations return immediately. *)
+  let t0 = Prelude.Mono.now () in
+  Prelude.Mono.sleep 0.;
+  Prelude.Mono.sleep (-1.);
+  Alcotest.(check bool) "no sleep for <= 0" true
+    (Prelude.Mono.now () -. t0 < 0.01)
+
+let test_mono_sleep_eintr () =
+  (* Interrupt the sleep with a 5 ms interval timer: every SIGALRM makes
+     nanosleep return EINTR. The sleep must absorb the interruptions and
+     still deliver the full 60 ms (the naive Unix.sleepf returns short). *)
+  let ticks = ref 0 in
+  let previous =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr ticks))
+  in
+  let stop_timer () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm previous
+  in
+  Fun.protect ~finally:stop_timer (fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.005; it_value = 0.005 });
+      let t0 = Prelude.Mono.now () in
+      Prelude.Mono.sleep 0.06;
+      let elapsed = Prelude.Mono.now () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "full duration despite %d interrupts (%.4fs)" !ticks
+           elapsed)
+        true (elapsed >= 0.06);
+      Alcotest.(check bool) "the timer actually interrupted the sleep" true
+        (!ticks >= 1))
+
+let test_instrument_now_is_monotonic () =
+  (* Instrument.now is the chokepoint every deadline reads; it must be the
+     monotonic clock, not wall time. The two clocks share an origin only by
+     construction, so equality-of-source is checked behaviourally: calls
+     are non-decreasing and track Mono.now's scale. *)
+  let i0 = Prelude.Instrument.now () in
+  let m0 = Prelude.Mono.now () in
+  Prelude.Mono.sleep 0.01;
+  let i1 = Prelude.Instrument.now () in
+  let m1 = Prelude.Mono.now () in
+  Alcotest.(check bool) "non-decreasing" true (i1 >= i0);
+  let di = i1 -. i0 and dm = m1 -. m0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tracks Mono.now (%.4fs vs %.4fs)" di dm)
+    true
+    (di >= 0.01 && Float.abs (di -. dm) < 0.01)
 
 (* --- Table / Listx ---------------------------------------------------- *)
 
@@ -513,7 +635,18 @@ let () =
          Alcotest.test_case "float formatting stability" `Quick
            test_json_float_formatting;
          Alcotest.test_case "parser" `Quick test_json_parser;
+         Alcotest.test_case "out-of-range numbers rejected" `Quick
+           test_json_overflow_rejected;
          QCheck_alcotest.to_alcotest prop_json_round_trip ]);
+      ("mono",
+       [ Alcotest.test_case "now never runs backwards" `Quick
+           test_mono_nondecreasing;
+         Alcotest.test_case "sleep delivers the full budget" `Quick
+           test_mono_sleep_duration;
+         Alcotest.test_case "sleep survives EINTR" `Quick
+           test_mono_sleep_eintr;
+         Alcotest.test_case "Instrument.now is monotonic" `Quick
+           test_instrument_now_is_monotonic ]);
       ("table+listx",
        [ Alcotest.test_case "table render" `Quick test_table_render;
          Alcotest.test_case "range" `Quick test_listx_range;

@@ -1,0 +1,423 @@
+(* Tests for the predlab serve daemon: protocol encode/decode round trips,
+   full socket sessions against an in-process daemon (spawned on its own
+   domain), memo behaviour across requests, per-request deadlines, and the
+   robustness edges — malformed lines, unknown workloads, busy and stale
+   sockets. *)
+
+module Json = Prelude.Json
+module Protocol = Serve.Protocol
+module Daemon = Serve.Daemon
+module Client = Serve.Client
+
+let temp_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "predlab-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+(* Run [f socket client] against a daemon on a fresh socket. The daemon
+   runs on its own domain; the wrapper always shuts it down (idempotent if
+   the test body already did) and joins, so a failing test cannot leak a
+   listener into the next one. *)
+let with_daemon ?(jobs = 2) ?deadline_s
+    ?(memo_bound = Daemon.default_memo_bound) ?socket f =
+  let socket = match socket with Some s -> s | None -> temp_socket () in
+  let config = { Daemon.socket; jobs; deadline_s; memo_bound } in
+  let daemon = Domain.spawn (fun () -> Daemon.run config) in
+  let shutdown () =
+    (match Client.connect ~retry_for_s:2. socket with
+     | Ok c ->
+       ignore (Client.request c (Protocol.request_to_json Protocol.Shutdown));
+       Client.close c
+     | Error _ -> ());
+    Domain.join daemon
+  in
+  Fun.protect ~finally:shutdown (fun () ->
+      match Client.connect ~retry_for_s:5. socket with
+      | Error message -> Alcotest.failf "cannot connect: %s" message
+      | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () -> f socket client))
+
+let request ?deadline_s client req =
+  match Client.request client (Protocol.request_to_json ?deadline_s req) with
+  | Ok response -> response
+  | Error message -> Alcotest.failf "round trip failed: %s" message
+
+let result_of response =
+  match Json.member "ok" response with
+  | Some (Json.Bool true) ->
+    Option.value ~default:Json.Null (Json.member "result" response)
+  | _ ->
+    Alcotest.failf "expected a success envelope, got %s"
+      (Json.to_string response)
+
+let error_of response =
+  match Json.member "ok" response with
+  | Some (Json.Bool false) -> (
+      match Option.bind (Json.member "error" response) Json.string_value with
+      | Some message -> message
+      | None -> Alcotest.failf "error envelope without a message")
+  | _ ->
+    Alcotest.failf "expected an error envelope, got %s"
+      (Json.to_string response)
+
+let int_field name doc =
+  match Option.bind (Json.member name doc) Json.int_value with
+  | Some n -> n
+  | None -> Alcotest.failf "missing int field %S in %s" name (Json.to_string doc)
+
+let bool_field name doc =
+  match Json.member name doc with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S" name
+
+(* --- Protocol ------------------------------------------------------------ *)
+
+let test_protocol_round_trip () =
+  let cases =
+    [ (Protocol.Eval { workload = "clamp"; state = 0; input = 3 }, None);
+      (Protocol.Run { id = "EQ4"; retries = 2 }, Some 5.);
+      (Protocol.Sample
+         { workloads = [ "clamp"; "fir" ]; seed = Some 7; samples = Some 64;
+           confidence = Some 0.9 },
+       None);
+      (Protocol.Sample
+         { workloads = []; seed = None; samples = None; confidence = None },
+       Some 0.25);
+      (Protocol.Lint { workloads = [ "clamp" ] }, None);
+      (Protocol.Compare
+         { baseline = Json.Obj [ ("version", Json.Int 2) ];
+           current = Json.Obj [ ("version", Json.Int 2) ];
+           tolerance = Some 25. },
+       None);
+      (Protocol.Stats, None);
+      (Protocol.Shutdown, None) ]
+  in
+  List.iter
+    (fun (req, deadline_s) ->
+       match Protocol.request_of_json (Protocol.request_to_json ?deadline_s req)
+       with
+       | Ok parsed ->
+         Alcotest.(check bool)
+           ("round trip " ^ Protocol.op_name req)
+           true
+           (parsed = (req, deadline_s))
+       | Error message ->
+         Alcotest.failf "%s rejected: %s" (Protocol.op_name req) message)
+    cases
+
+let test_protocol_rejects () =
+  List.iter
+    (fun (label, line) ->
+       match
+         Result.bind (Json.parse line) (fun json ->
+             Protocol.request_of_json json)
+       with
+       | Ok _ -> Alcotest.failf "%s: accepted %s" label line
+       | Error _ -> ())
+    [ ("unknown op", {|{"op":"frobnicate"}|});
+      ("missing op", {|{"workload":"clamp"}|});
+      ("non-object", {|[1,2]|});
+      ("eval missing input", {|{"op":"eval","workload":"clamp","state":0}|});
+      ("eval non-int state",
+       {|{"op":"eval","workload":"clamp","state":"q0","input":0}|});
+      ("run missing id", {|{"op":"run"}|});
+      ("negative retries", {|{"op":"run","id":"EQ4","retries":-1}|});
+      ("zero deadline", {|{"op":"stats","deadline":0}|});
+      ("negative deadline", {|{"op":"stats","deadline":-2.5}|});
+      ("workloads not strings", {|{"op":"lint","workloads":[1]}|});
+      ("compare missing current", {|{"op":"compare","baseline":{}}|});
+      ("negative tolerance",
+       {|{"op":"compare","baseline":{},"current":{},"tolerance":-1}|}) ]
+
+(* --- Socket sessions ----------------------------------------------------- *)
+
+let test_eval_round_trip () =
+  with_daemon (fun _socket client ->
+      let result =
+        result_of
+          (request client
+             (Protocol.Eval { workload = "clamp"; state = 0; input = 1 }))
+      in
+      Alcotest.(check (option string)) "schema"
+        (Some "predlab/serve-eval")
+        (Option.bind (Json.member "schema" result) Json.string_value);
+      Alcotest.(check bool) "positive time" true
+        (int_field "time_cycles" result > 0);
+      Alcotest.(check bool) "first evaluation is a miss" false
+        (bool_field "cached" result);
+      (* The daemon must agree with the interpreter ground truth. *)
+      let w = Isa.Workload.find "clamp" in
+      let program, _ = Isa.Workload.program w in
+      let states = Predictability.Harness.inorder_states program w in
+      let inputs =
+        Prelude.Listx.take Predictability.Sampled.input_cap
+          w.Isa.Workload.inputs
+      in
+      let exact =
+        Pipeline.Inorder.time program (List.nth states 0) (List.nth inputs 1)
+      in
+      Alcotest.(check int) "matches the interpreter" exact
+        (int_field "time_cycles" result))
+
+let test_memo_hit_on_repeat () =
+  with_daemon (fun _socket client ->
+      let eval () =
+        result_of
+          (request client
+             (Protocol.Eval { workload = "clamp"; state = 1; input = 2 }))
+      in
+      let first = eval () in
+      let second = eval () in
+      Alcotest.(check (pair bool bool)) "miss then hit" (false, true)
+        (bool_field "cached" first, bool_field "cached" second);
+      Alcotest.(check int) "same answer"
+        (int_field "time_cycles" first)
+        (int_field "time_cycles" second);
+      let stats = result_of (request client Protocol.Stats) in
+      Alcotest.(check bool) "stats counted the hit" true
+        (int_field "memo_hits" stats >= 1);
+      Alcotest.(check bool) "stats counted the miss" true
+        (int_field "memo_misses" stats >= 1);
+      Alcotest.(check bool) "memo retains the cell" true
+        (int_field "memo_cells" stats >= 1);
+      Alcotest.(check int) "no errors" 0 (int_field "errors" stats))
+
+(* The daemon answers a fixed-seed sample request with the same bytes no
+   matter how many worker domains it was started with (the report's own
+   [jobs] echo aside) — the serve-side twin of the CLI's cross-jobs
+   determinism guarantee. *)
+let test_sample_bit_identical_across_jobs () =
+  let sample_with jobs =
+    with_daemon ~jobs (fun _socket client ->
+        let result =
+          result_of
+            (request client
+               (Protocol.Sample
+                  { workloads = [ "clamp" ]; seed = Some 11;
+                    samples = Some 48; confidence = None }))
+        in
+        match result with
+        | Json.Obj fields ->
+          Json.to_string
+            (Json.Obj (List.filter (fun (k, _) -> k <> "jobs") fields))
+        | j -> Alcotest.failf "sample result not an object: %s" (Json.to_string j))
+  in
+  let at1 = sample_with 1 in
+  let at2 = sample_with 2 in
+  let at4 = sample_with 4 in
+  Alcotest.(check string) "jobs 1 = jobs 2" at1 at2;
+  Alcotest.(check string) "jobs 2 = jobs 4" at2 at4
+
+let test_deadline_times_out_not_daemon () =
+  with_daemon (fun _socket client ->
+      (* A sample over the whole registry cannot finish in a microsecond;
+         the overrun must come back as a timed_out error envelope... *)
+      let response =
+        request ~deadline_s:1e-6 client
+          (Protocol.Sample
+             { workloads = []; seed = None; samples = None; confidence = None })
+      in
+      Alcotest.(check string) "timed_out error" "timed_out"
+        (error_of response);
+      Alcotest.(check (option string)) "status field" (Some "timed_out")
+        (Option.bind (Json.member "status" response) Json.string_value);
+      (* ...while the daemon and even this connection keep serving. *)
+      let result =
+        result_of
+          (request client
+             (Protocol.Eval { workload = "clamp"; state = 0; input = 0 }))
+      in
+      Alcotest.(check bool) "daemon still answers" true
+        (int_field "time_cycles" result > 0);
+      let stats = result_of (request client Protocol.Stats) in
+      Alcotest.(check bool) "error was counted" true
+        (int_field "errors" stats >= 1))
+
+let test_run_deadline_classified_by_supervisor () =
+  with_daemon (fun _socket client ->
+      (* For the run op the budget goes to the experiment supervisor: the
+         response is still a success envelope and the report inside
+         classifies the experiment as timed_out, exactly like the one-shot
+         `predlab run --deadline`. *)
+      let result =
+        result_of
+          (request ~deadline_s:1e-6 client
+             (Protocol.Run { id = "EQ4"; retries = 0 }))
+      in
+      Alcotest.(check (option string)) "report schema"
+        (Some "predlab/report")
+        (Option.bind (Json.member "schema" result) Json.string_value);
+      Alcotest.(check int) "experiment timed out" 1
+        (int_field "timed_out" result);
+      let again =
+        result_of (request client (Protocol.Run { id = "EQ4"; retries = 0 }))
+      in
+      Alcotest.(check int) "same experiment passes without the deadline" 1
+        (int_field "experiments_passed" again))
+
+let test_compare_gates_reports () =
+  with_daemon (fun _socket client ->
+      (* Use the daemon's own run output as the document under test: a
+         report compared against itself passes the regression gate... *)
+      let report =
+        result_of (request client (Protocol.Run { id = "EQ4"; retries = 0 }))
+      in
+      let compare_docs baseline current =
+        result_of
+          (request client
+             (Protocol.Compare { baseline; current; tolerance = None }))
+      in
+      let same = compare_docs report report in
+      Alcotest.(check (option string)) "schema"
+        (Some "predlab/serve-compare")
+        (Option.bind (Json.member "schema" same) Json.string_value);
+      Alcotest.(check bool) "self-compare passes" true
+        (bool_field "passed" same);
+      (* ...while a current report that dropped the experiment fails it
+         with a missing finding. *)
+      let emptied =
+        match report with
+        | Json.Obj fields ->
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                  if k = "experiments" then (k, Json.List []) else (k, v))
+               fields)
+        | j ->
+          Alcotest.failf "report not an object: %s" (Json.to_string j)
+      in
+      let gated = compare_docs report emptied in
+      Alcotest.(check bool) "dropped experiment fails the gate" false
+        (bool_field "passed" gated);
+      let kinds =
+        match Json.member "findings" gated with
+        | Some (Json.List findings) ->
+          List.filter_map
+            (fun f -> Option.bind (Json.member "kind" f) Json.string_value)
+            findings
+        | _ -> []
+      in
+      Alcotest.(check bool) "finding kind is missing" true
+        (List.mem "missing" kinds))
+
+let test_malformed_line_keeps_connection () =
+  with_daemon (fun socket client ->
+      (* The daemon serves one connection at a time; release the fixture
+         client's so the accept loop can take ours. *)
+      Client.close client;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+        (fun () ->
+           Unix.connect fd (Unix.ADDR_UNIX socket);
+           output_string oc "{this is not json\n";
+           flush oc;
+           let first = Json.parse_exn (input_line ic) in
+           let message = error_of first in
+           Alcotest.(check bool)
+             ("parse error reported: " ^ message)
+             true
+             (String.length message >= 11
+              && String.sub message 0 11 = "parse error");
+           (* Same connection, next line: still served. *)
+           output_string oc "{\"op\":\"stats\"}\n";
+           flush oc;
+           let second = Json.parse_exn (input_line ic) in
+           Alcotest.(check bool) "connection survived the bad line" true
+             (int_field "served" (result_of second) >= 0)))
+
+let test_unknown_workload_is_request_error () =
+  with_daemon (fun _socket client ->
+      let response =
+        request client
+          (Protocol.Eval { workload = "no_such"; state = 0; input = 0 })
+      in
+      let message = error_of response in
+      Alcotest.(check bool)
+        ("message names the workload: " ^ message)
+        true
+        (String.length message > 0);
+      (* Out-of-range cell indexes are request errors too. *)
+      let response =
+        request client
+          (Protocol.Eval { workload = "clamp"; state = 999; input = 0 })
+      in
+      ignore (error_of response);
+      let stats = result_of (request client Protocol.Stats) in
+      Alcotest.(check int) "both errors counted" 2 (int_field "errors" stats))
+
+let test_busy_socket_refused () =
+  with_daemon (fun socket _client ->
+      let config =
+        { Daemon.socket; jobs = 1; deadline_s = None;
+          memo_bound = Daemon.default_memo_bound }
+      in
+      match Daemon.run config with
+      | () -> Alcotest.fail "second daemon bound the same live socket"
+      | exception Daemon.Busy _ -> ())
+
+let test_stale_socket_reclaimed () =
+  (* A killed daemon leaves its socket file behind; a fresh daemon must
+     probe it, find no listener, and reclaim the path. *)
+  let socket = temp_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.close fd;
+  Alcotest.(check bool) "stale file exists" true (Sys.file_exists socket);
+  with_daemon ~socket (fun _socket client ->
+      let stats = result_of (request client Protocol.Stats) in
+      Alcotest.(check bool) "daemon reclaimed the stale path" true
+        (int_field "served" stats >= 0));
+  Alcotest.(check bool) "socket removed on shutdown" false
+    (Sys.file_exists socket)
+
+let test_shutdown_unlinks_socket () =
+  with_daemon (fun socket client ->
+      let result = result_of (request client Protocol.Shutdown) in
+      Alcotest.(check bool) "acknowledged" true (bool_field "stopping" result);
+      (* The daemon unlinks the socket as it exits; poll briefly. *)
+      let rec wait tries =
+        if Sys.file_exists socket && tries > 0 then begin
+          Prelude.Mono.sleep 0.01;
+          wait (tries - 1)
+        end
+      in
+      wait 200;
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket))
+
+let () =
+  Alcotest.run "serve"
+    [ ("protocol",
+       [ Alcotest.test_case "request round trip" `Quick
+           test_protocol_round_trip;
+         Alcotest.test_case "malformed requests rejected" `Quick
+           test_protocol_rejects ]);
+      ("session",
+       [ Alcotest.test_case "eval round trip" `Quick test_eval_round_trip;
+         Alcotest.test_case "memo hit on repeated cell" `Quick
+           test_memo_hit_on_repeat;
+         Alcotest.test_case "sample bit-identical across jobs 1/2/4" `Slow
+           test_sample_bit_identical_across_jobs;
+         Alcotest.test_case "deadline times out request, not daemon" `Quick
+           test_deadline_times_out_not_daemon;
+         Alcotest.test_case "run deadline classified by supervisor" `Quick
+           test_run_deadline_classified_by_supervisor;
+         Alcotest.test_case "compare gates two report documents" `Quick
+           test_compare_gates_reports ]);
+      ("robustness",
+       [ Alcotest.test_case "malformed line keeps the connection" `Quick
+           test_malformed_line_keeps_connection;
+         Alcotest.test_case "unknown workload is a request error" `Quick
+           test_unknown_workload_is_request_error;
+         Alcotest.test_case "live socket refused as busy" `Quick
+           test_busy_socket_refused;
+         Alcotest.test_case "stale socket reclaimed" `Quick
+           test_stale_socket_reclaimed;
+         Alcotest.test_case "shutdown unlinks the socket" `Quick
+           test_shutdown_unlinks_socket ]) ]
