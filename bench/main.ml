@@ -284,6 +284,14 @@ let kernel_specs jobs =
           acc := !acc lxor Prelude.Rng.int rng rejection_bound
         done;
         !acc);
+    stage "CERT/taint_analyze" (fun () ->
+        Dataflow.Taint.of_workload singlepath_fixture);
+    stage "CERT/certify_flat" (fun () ->
+        Analysis.Certify.certify Predictability.Certifier.flat_machine
+          singlepath_fixture);
+    stage "CERT/certify_cached" (fun () ->
+        Analysis.Certify.certify Predictability.Certifier.cached_machine
+          singlepath_fixture);
     stage "RW.DYN/width_profile" (fun () ->
         Predictability.Dynamical.width_profile
           ~f:(Predictability.Dynamical.logistic ~r:4.0) ~x0:0.237 ~delta:1e-4

@@ -276,10 +276,44 @@ let show_program name =
       (Isa.Program.length program)
       (List.length w.Isa.Workload.inputs)
 
+(* Target selection shared by lint and certify: positional names (default
+   the whole registry), then the bench-style `--only SUBSTR` filter. *)
+let select_workloads ~command ~only names =
+  let selected =
+    match names with
+    | [] -> Isa.Workload.registry
+    | names ->
+      List.map
+        (fun name ->
+           match List.assoc_opt name Isa.Workload.registry with
+           | Some make -> (name, make)
+           | None ->
+             Printf.eprintf "unknown workload %S; try `predlab workloads`\n"
+               name;
+             exit 2)
+        names
+  in
+  match only with
+  | None -> selected
+  | Some substr -> (
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        nn = 0 || at 0
+      in
+      match List.filter (fun (name, _) -> contains name substr) selected with
+      | [] ->
+        Printf.eprintf "predlab %s: --only %s matches no workload\n" command
+          substr;
+        exit 2
+      | matching -> matching)
+
 (* `predlab lint`: run the dataflow linter over workloads (default: the
    whole registry) or one of the pinned fixtures. Exit 1 iff any
    error-severity finding is reported — the ci.sh gate. *)
-let lint format fixture names =
+let lint format only fixture names =
   let targets =
     match fixture with
     | Some `Clean ->
@@ -289,23 +323,9 @@ let lint format fixture names =
     | Some `Dirty ->
       [ ("fixture:dirty", Dataflow.Lint.check_program (Dataflow.Fixtures.dirty ())) ]
     | None ->
-      let selected =
-        match names with
-        | [] -> Isa.Workload.registry
-        | names ->
-          List.map
-            (fun name ->
-               match List.assoc_opt name Isa.Workload.registry with
-               | Some make -> (name, make)
-               | None ->
-                 Printf.eprintf
-                   "unknown workload %S; try `predlab workloads`\n" name;
-                 exit 2)
-            names
-      in
       List.map
         (fun (name, make) -> (name, Dataflow.Lint.check_workload (make ())))
-        selected
+        (select_workloads ~command:"lint" ~only names)
   in
   let total_errors =
     List.fold_left (fun acc (_, fs) -> acc + Dataflow.Lint.errors fs) 0 targets
@@ -325,6 +345,45 @@ let lint format fixture names =
      Printf.printf "%d target(s), %d error finding(s)\n" (List.length targets)
        total_errors);
   if total_errors > 0 then exit 1
+
+(* `predlab certify`: static predictability certificates over the
+   standard machine pair (Certifier). The JSON document is built by the
+   same constructor the serve daemon's certify op uses, so `predlab
+   query certify` matches byte-for-byte. Exit 1 iff any declared
+   expectation (--require-invariant, or a fixture's built-in one) is
+   contradicted by the flat-machine verdict — the leaky-fixture gate in
+   ci.sh. *)
+let certify format only fixture require_invariant names =
+  let rows =
+    match fixture with
+    | Some fixture ->
+      (* Both pinned fixtures declare the constant-time expectation:
+         leakfree holds it, leaky was written to contradict it. *)
+      let w =
+        match fixture with
+        | `Leakfree -> Dataflow.Fixtures.leakfree ()
+        | `Leaky -> Dataflow.Fixtures.leaky ()
+      in
+      [ Predictability.Certifier.row ~expect:Analysis.Certify.Invariant w ]
+    | None ->
+      let expect =
+        if require_invariant then Some Analysis.Certify.Invariant else None
+      in
+      List.map
+        (fun (_, make) -> Predictability.Certifier.row ?expect (make ()))
+        (select_workloads ~command:"certify" ~only names)
+  in
+  let contradictions = Predictability.Certifier.contradictions rows in
+  (match format with
+   | Json ->
+     print_endline
+       (Prelude.Json.to_string_pretty
+          (Predictability.Certifier.report_to_json rows))
+   | Text ->
+     print_string (Predictability.Certifier.render rows);
+     Printf.printf "%d target(s), %d contradicted expectation(s)\n"
+       (List.length rows) contradictions);
+  if contradictions > 0 then exit 1
 
 (* `predlab sample`: seeded sampling estimators (Pr/SIPr/IIPr, mean,
    BCET/WCET tails, each with a CI) over workloads — the scale-past-
@@ -412,14 +471,16 @@ let serve socket jobs deadline cache_bound =
     exit 2
 
 (* `predlab query`: one request-response round trip against a running
-   daemon. The result document of run/sample/lint is printed with exactly
+   daemon. The result document of run/sample/lint/certify is printed with
+   exactly
    the emitter call the one-shot CLI uses for that command, so the bytes
    match; exits mirror the documented taxonomy (2 usage/connection, 3 on
    a timed-out/crashed verdict, 1 on failed checks). *)
 let query_usage =
   "usage: predlab query [flags] OP ...\n\
   \  eval WORKLOAD STATE INPUT | run ID | sample [WORKLOAD...]\n\
-  \  | lint [WORKLOAD...] | compare BASELINE.json CURRENT.json\n\
+  \  | lint [WORKLOAD...] | certify [WORKLOAD...]\n\
+  \  | compare BASELINE.json CURRENT.json\n\
   \  | stats | shutdown   (or --raw LINE)"
 
 let load_json_doc path =
@@ -442,6 +503,7 @@ let build_request ~retries ~seed ~samples ~confidence ~tolerance = function
   | "sample" :: workloads ->
     Ok (Serve.Protocol.Sample { workloads; seed; samples; confidence })
   | "lint" :: workloads -> Ok (Serve.Protocol.Lint { workloads })
+  | "certify" :: workloads -> Ok (Serve.Protocol.Certify { workloads })
   | [ "compare"; baseline_path; current_path ] ->
     Result.bind (load_json_doc baseline_path) (fun baseline ->
         Result.bind (load_json_doc current_path) (fun current ->
@@ -452,14 +514,14 @@ let build_request ~retries ~seed ~samples ~confidence ~tolerance = function
   | [ "shutdown" ] -> Ok Serve.Protocol.Shutdown
   | _ -> Error query_usage
 
-(* The one-shot CLI prints sample/lint documents with [print_endline]
-   (trailing blank line) and run documents with [print_string]; replicate
-   per op so `query OP > a.json` and `predlab OP --format json > b.json`
-   compare byte-for-byte. *)
+(* The one-shot CLI prints sample/lint/certify documents with
+   [print_endline] (trailing blank line) and run documents with
+   [print_string]; replicate per op so `query OP > a.json` and `predlab
+   OP --format json > b.json` compare byte-for-byte. *)
 let print_result ~op result =
   let rendered = Prelude.Json.to_string_pretty result in
   match op with
-  | "sample" | "lint" -> print_endline rendered
+  | "sample" | "lint" | "certify" -> print_endline rendered
   | _ -> print_string rendered
 
 let run_exit_of result =
@@ -751,6 +813,17 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"List the registered workload programs")
     Term.(const list_workloads $ const ())
 
+let only_arg command =
+  Arg.(value
+       & opt (some string) None
+       & info [ "only" ] ~docv:"SUBSTR"
+           ~doc:(Printf.sprintf
+                   "Keep only the selected workloads whose name contains \
+                    SUBSTR (as in $(b,bench --only)); exits 2 if nothing \
+                    matches. Composes with positional names: `predlab %s \
+                    --only sort` runs the sorting kernels."
+                   command))
+
 let lint_cmd =
   let fixture_arg =
     Arg.(value
@@ -767,11 +840,53 @@ let lint_cmd =
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Run the dataflow linter (CFG, interval and liveness analyses \
-             plus the loop-bound audit) over workload programs. Exits \
-             nonzero iff any error-severity finding is reported; warnings \
-             and infos are printed but do not gate.")
-    Term.(const lint $ format_arg $ fixture_arg $ names_arg)
+       ~doc:"Run the dataflow linter (CFG, interval, liveness and \
+             timing-taint analyses plus the loop-bound audit) over \
+             workload programs. Exits nonzero iff any error-severity \
+             finding is reported; warnings (including $(b,timing-leak) \
+             and $(b,dead-result-reg)) and infos are printed but do not \
+             gate.")
+    Term.(const lint $ format_arg $ only_arg "lint" $ fixture_arg
+          $ names_arg)
+
+let certify_cmd =
+  let fixture_arg =
+    Arg.(value
+         & opt (some (enum [ ("leakfree", `Leakfree); ("leaky", `Leaky) ]))
+             None
+         & info [ "fixture" ] ~docv:"NAME"
+             ~doc:"Certify a pinned fixture instead of workloads, with the \
+                   constant-time expectation declared: $(b,leakfree) \
+                   (expected Invariant — holds) or $(b,leaky) (a falsely \
+                   assumed constant-time kernel — the expectation is \
+                   contradicted and the command exits 1).")
+  in
+  let require_invariant_arg =
+    Arg.(value
+         & flag
+         & info [ "require-invariant" ]
+             ~doc:"Declare the Invariant expectation for every selected \
+                   workload; exit 1 if any flat-machine verdict is \
+                   Bounded.")
+  in
+  let names_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workloads to certify (default: every registered \
+                   workload).")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Issue static predictability certificates: run the \
+             timing-taint analysis and the restricted WCET/BCET walks \
+             over each workload on the flat and cached machine models, \
+             and report $(b,invariant) (Pr = SIPr = IIPr = 1, proved \
+             without executing) or $(b,bounded) (a sound spread bound \
+             with the leaking program points). Verdicts are gated by the \
+             DEF.CERT oracle experiment. Exits 1 iff a declared \
+             expectation is contradicted.")
+    Term.(const certify $ format_arg $ only_arg "certify" $ fixture_arg
+          $ require_invariant_arg $ names_arg)
 
 let sample_cmd =
   let seed_arg =
@@ -857,7 +972,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident evaluation daemon: accept JSONL requests \
-             (eval/run/sample/lint/stats/shutdown) on a Unix-domain \
+             (eval/run/sample/lint/certify/stats/shutdown) on a Unix-domain \
              socket, answered from a shared memo-cached engine per \
              workload. Result documents match the one-shot CLI's \
              --format json output byte-for-byte. Blocks until a shutdown \
@@ -912,14 +1027,14 @@ let query_cmd =
          & info [] ~docv:"OP"
              ~doc:"Request: $(b,eval) WORKLOAD STATE INPUT; $(b,run) ID; \
                    $(b,sample) [WORKLOAD...]; $(b,lint) [WORKLOAD...]; \
-                   $(b,compare) BASELINE.json CURRENT.json; $(b,stats); \
-                   $(b,shutdown).")
+                   $(b,certify) [WORKLOAD...]; $(b,compare) BASELINE.json \
+                   CURRENT.json; $(b,stats); $(b,shutdown).")
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request to a running $(b,predlab serve) daemon and \
-             print the result document (for run/sample/lint: the same \
-             bytes the one-shot CLI prints under --format json). Exit \
+             print the result document (for run/sample/lint/certify: the \
+             same bytes the one-shot CLI prints under --format json). Exit \
              status mirrors the CLI: 0 ok, 1 failed checks, 2 \
              usage/connection error, 3 timed-out or crashed.")
     Term.(const query $ socket_arg $ connect_timeout_arg $ deadline_arg
@@ -933,7 +1048,7 @@ let main =
              Wilhelm, 'A Template for Predictability Definitions with \
              Supporting Evidence' (PPES 2011)")
     [ list_cmd; run_cmd; all_cmd; chaos_cmd; stats_cmd; compare_cmd;
-      survey_cmd; workloads_cmd; program_cmd; lint_cmd; sample_cmd;
-      serve_cmd; query_cmd ]
+      survey_cmd; workloads_cmd; program_cmd; lint_cmd; certify_cmd;
+      sample_cmd; serve_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main)

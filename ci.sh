@@ -61,6 +61,34 @@ if grep -q '"engine": "fast"' BENCH_2.json; then
   fi
 fi
 
+# Certifier gates. DEF.CERT is the oracle that lets a static certificate
+# be trusted without an exhaustive sweep: flat-machine Invariant verdicts
+# coincide exactly with exhaustive timing invariance, every bracket and
+# spread bound contains the observations, the sampled CIs are consistent
+# with the certified Pr lower bound, and the single-path transform kills
+# the branch channel. The CLI smoke keeps the JSON report as an artifact,
+# re-asserts the pinned flat-invariant set, and checks both fixture
+# directions — a certifier that stops contradicting the leaky fixture
+# would otherwise pass CI silently. BENCH_3.json is the committed
+# trajectory point recorded after the certifier landed.
+dune exec bin/predlab.exe -- run DEF.CERT --jobs 2
+dune exec bin/predlab.exe -- certify --format json > _build/certify.json
+dune exec bin/predlab.exe -- certify --fixture leakfree > /dev/null
+if dune exec bin/predlab.exe -- certify --fixture leaky > /dev/null 2>&1; then
+  echo "certify failed to contradict the leaky fixture" >&2
+  exit 1
+fi
+dune exec bin/predlab.exe -- certify --require-invariant \
+  fibonacci call_chain state_machine
+dune exec bench/main.exe -- --only CERT
+dune exec bin/predlab.exe -- compare BENCH_2.json BENCH_3.json --tolerance 400
+if grep -q '"engine": "fast"' BENCH_3.json; then
+  if ! grep -q '"id": "FIG1.FAST"' BENCH_3.json; then
+    echo "fast-engine kernels present but the FIG1.FAST oracle is absent" >&2
+    exit 1
+  fi
+fi
+
 # Supervision gates. A fault injected into one experiment must not take the
 # run down: the other experiments complete, the failure is classified in the
 # v2 JSON report, and the exit code is the documented 3.
@@ -72,7 +100,7 @@ status=$?
 set -e
 test "$status" -eq 3
 grep -q '"status": "crashed"' _build/faulted.json
-test "$(grep -c '"status":"completed"' _build/ci.jsonl)" -ge 26
+test "$(grep -c '"status":"completed"' _build/ci.jsonl)" -ge 27
 # Resume from that journal with the fault gone: only EQ4 re-runs, the final
 # report is clean, and the journal gains exactly the one re-run line.
 lines_before=$(wc -l < _build/ci.jsonl)
@@ -95,7 +123,7 @@ dune exec bin/predlab.exe -- chaos --jobs 2 --seed 1
 # Serve-daemon session. The daemon is exercised end to end over its socket:
 # a repeated cell query must flip from cache miss to cache hit (asserted
 # both in the per-response `cached` flag and in the stats counters), the
-# sample/lint result documents must be byte-identical to the one-shot CLI's
+# sample/lint/certify result documents must be byte-identical to the one-shot CLI's
 # --format json output at the same --jobs, and shutdown must be clean (exit
 # 0, socket unlinked). The daemon runs from the built binary directly so
 # the backgrounded process does not contend for dune's build lock.
@@ -120,6 +148,9 @@ cmp _build/serve-sample.json _build/cli-sample.json
 "$PREDLAB" query --socket "$SOCK" lint clamp > _build/serve-lint.json
 "$PREDLAB" lint --format json clamp > _build/cli-lint.json
 cmp _build/serve-lint.json _build/cli-lint.json
+"$PREDLAB" query --socket "$SOCK" certify clamp > _build/serve-certify.json
+"$PREDLAB" certify --format json clamp > _build/cli-certify.json
+cmp _build/serve-certify.json _build/cli-certify.json
 # The daemon's regression gate: a report compared against itself passes.
 "$PREDLAB" run --format json EQ4 > _build/serve-compare-base.json
 "$PREDLAB" query --socket "$SOCK" compare \

@@ -53,7 +53,7 @@ let state_equal a b =
   | None, None -> true
   | Some _, None | None, Some _ -> false
 
-let bound config kind ~shapes ~entry =
+let bound ?(site_filter = fun _ -> true) config kind ~shapes ~entry =
   let fetch_cost st pc =
     match config.icache with
     | Flat_fetch lat -> (lat, st)
@@ -101,7 +101,16 @@ let bound config kind ~shapes ~entry =
   in
   let instr_cost st (pc, ins) =
     let fetch, st = fetch_cost st pc in
-    (fetch + exec_cost ins + data_cost ins + branch_cost ins, st)
+    (* Sites outside the filter contribute no cost, but their cache-state
+       effects (and observations) still happen: the certifier bounds the
+       spread of the filtered sites against the true abstract cache
+       evolution, not against a cache that magically skips them. *)
+    let cost =
+      if site_filter pc then
+        fetch + exec_cost ins + data_cost ins + branch_cost ins
+      else 0
+    in
+    (cost, st)
   in
   let block_cost st pairs =
     List.fold_left
@@ -205,21 +214,23 @@ let bound config kind ~shapes ~entry =
   let total, st = walk [ entry ] { cache = initial_cache; obs = [] } entry_shape in
   { bound = total; observations = List.rev st.obs }
 
-let bracket ?jobs ?(engine = `Exact) ~upper ~lower ~shapes ~entry () =
+let bracket ?jobs ?(engine = `Exact) ?site_filter ~upper ~lower ~shapes
+    ~entry () =
   (* The two bound computations share nothing mutable, so run them on the
      domain pool; result order is fixed by the task list, not scheduling.
      Both walks usually finish in microseconds, so under [`Fast] they stay
      on the calling domain where the pool's spawn would dominate. *)
   match engine with
   | `Fast ->
-    (bound upper Upper ~shapes ~entry, bound lower Lower ~shapes ~entry)
+    ( bound ?site_filter upper Upper ~shapes ~entry,
+      bound ?site_filter lower Lower ~shapes ~entry )
   | `Exact ->
     (match
        Prelude.Parallel.map ?jobs
          (fun kind ->
             match kind with
-            | Upper -> bound upper Upper ~shapes ~entry
-            | Lower -> bound lower Lower ~shapes ~entry)
+            | Upper -> bound ?site_filter upper Upper ~shapes ~entry
+            | Lower -> bound ?site_filter lower Lower ~shapes ~entry)
          [ Upper; Lower ]
      with
      | [ ub; lb ] -> (ub, lb)

@@ -51,11 +51,20 @@ exception Unsupported of string
     call graph). *)
 
 val bound :
+  ?site_filter:(int -> bool) ->
   config -> bound_kind -> shapes:(string * Isa.Ast.shape) list ->
   entry:string -> result
+(** [site_filter] (default: accept everything) restricts which program
+    points contribute cost: a pc outside the filter is charged 0 cycles,
+    but its abstract cache effects and fetch observations still happen.
+    With a filter selecting exactly the sites whose cost or execution
+    count can vary (see {!Certify}), [UB - LB] of the filtered walks is a
+    sound bound on the spread of whole-program execution times — the
+    invariant remainder contributes identically to every run. *)
 
 val bracket :
-  ?jobs:int -> ?engine:[ `Exact | `Fast ] -> upper:config -> lower:config ->
+  ?jobs:int -> ?engine:[ `Exact | `Fast ] -> ?site_filter:(int -> bool) ->
+  upper:config -> lower:config ->
   shapes:(string * Isa.Ast.shape) list -> entry:string -> unit ->
   result * result
 (** [(upper_result, lower_result)]: the UB and LB walks evaluated

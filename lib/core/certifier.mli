@@ -1,0 +1,51 @@
+(** Standard machines and shared rendering for {!Analysis.Certify}
+    certificates.
+
+    The one JSON constructor here ({!report_to_json}) is used by the
+    [predlab certify --format json] CLI, the serve daemon's [certify]
+    op, and the DEF.CERT oracle, so their documents are byte-identical
+    by construction. *)
+
+val flat_machine : Analysis.Certify.machine
+(** Flat fetch and data at 1 cycle, static predictor: the machine with
+    no hardware-state uncertainty, isolating the input channel. *)
+
+val cached_machine : Analysis.Certify.machine
+(** The FIG1.SOUND analysis configurations: LRU instruction cache from
+    an unknown initial state ({!Harness.icache_config}), ranged data
+    accesses, UB-side loop unrolling, static predictor. *)
+
+val machines : Analysis.Certify.machine list
+(** [[flat_machine; cached_machine]] — the order certificates appear in
+    every row. *)
+
+val certificates :
+  Isa.Workload.t -> Analysis.Certify.certificate list
+(** One certificate per standard machine. *)
+
+type row = {
+  name : string;
+  expect : Analysis.Certify.verdict option;
+      (** declared expectation, judged against the flat machine *)
+  certs : Analysis.Certify.certificate list;
+}
+
+val row : ?expect:Analysis.Certify.verdict -> Isa.Workload.t -> row
+
+val flat_cert : row -> Analysis.Certify.certificate
+
+val contradicted : row -> bool
+(** The declared expectation (if any) differs from the flat-machine
+    verdict. The flat machine is the reference because it isolates the
+    input channel — a constant-time expectation on the cached machine
+    would be vacuously contradicted by the unknown initial cache. *)
+
+val contradictions : row list -> int
+
+val report_to_json : row list -> Prelude.Json.t
+(** Schema ["predlab/certify"], version 1: per-target certificates plus
+    total invariant/bounded certificate counts and the number of
+    contradicted expectations. *)
+
+val render : row list -> string
+(** Text table, one line per workload-machine pair. *)

@@ -6,6 +6,8 @@ let all =
      Exp_fig1_fast.run);
     ("DEF.SAMPLE", "Sampling oracle (seeded estimators bracket exhaustive)",
      Exp_def_sample.run);
+    ("DEF.CERT", "Certifier oracle (static verdicts match executing modes)",
+     Exp_def_cert.run);
     ("EQ4", "Domino effect: 9n+1 vs 12n", Exp_eq4.run);
     ("TAB1.R1", "WCET-oriented static branch prediction", Exp_branch.run);
     ("TAB1.R2", "Time-predictable superscalar mode", Exp_superscalar.run);

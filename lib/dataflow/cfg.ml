@@ -151,6 +151,74 @@ let reachable t =
   visit t.entry;
   seen
 
+(* Blocks from which some exit block (no successors) is reachable. Blocks
+   that can only loop forever have no postdominators in the classical
+   sense; [influence_region] falls back to plain reachability for them. *)
+let reaches_exit t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit t.blocks.(id).preds
+    end
+  in
+  Array.iter (fun b -> if b.succs = [] then visit b.id) t.blocks;
+  seen
+
+let postdominators t =
+  let n = Array.length t.blocks in
+  (* pdom.(b).(d) <=> d postdominates b. Start at top (everything
+     postdominates everything) and shrink by intersection over successors;
+     exit blocks are pinned to {self}. *)
+  let pdom =
+    Array.init n (fun id ->
+        if t.blocks.(id).succs = [] then Array.init n (fun d -> d = id)
+        else Array.make n true)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = n - 1 downto 0 do
+      let b = t.blocks.(id) in
+      if b.succs <> [] then begin
+        let meet = Array.make n true in
+        List.iter
+          (fun s ->
+             for d = 0 to n - 1 do
+               meet.(d) <- meet.(d) && pdom.(s).(d)
+             done)
+          b.succs;
+        meet.(id) <- true;
+        for d = 0 to n - 1 do
+          if meet.(d) <> pdom.(id).(d) then begin
+            pdom.(id).(d) <- meet.(d);
+            changed := true
+          end
+        done
+      end
+    done
+  done;
+  pdom
+
+let influence_region t ~pdom id =
+  let n = Array.length t.blocks in
+  let region = Array.make n false in
+  let exits = reaches_exit t in
+  (* The region ends where every outcome of the branch has re-converged:
+     at the strict postdominators of the branch block. When the branch
+     cannot reach an exit its postdominator set is a fixpoint artifact
+     (all-true), so fall back to everything reachable from its successors
+     — a sound overapproximation. *)
+  let skip d = exits.(id) && d <> id && pdom.(id).(d) in
+  let rec visit d =
+    if (not region.(d)) && not (skip d) then begin
+      region.(d) <- true;
+      List.iter visit t.blocks.(d).succs
+    end
+  in
+  List.iter visit t.blocks.(id).succs;
+  region
+
 let reverse_postorder t =
   let seen = Array.make (Array.length t.blocks) false in
   let order = ref [] in

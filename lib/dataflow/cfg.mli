@@ -67,6 +67,25 @@ val mix : t -> block -> mix
 val reachable : t -> bool array
 (** Per-block: reachable from the entry block along [succs] edges. *)
 
+val postdominators : t -> bool array array
+(** [(postdominators t).(b).(d)] iff block [d] postdominates block [b]:
+    every path from [b] to an exit block (a block with no successors)
+    passes through [d]. Computed by iterated intersection from the top
+    element, so a block that cannot reach any exit keeps an all-true row
+    (a fixpoint artifact; such blocks have no postdominators in the
+    classical sense). Every block postdominates itself. *)
+
+val influence_region : t -> pdom:bool array array -> int -> bool array
+(** [influence_region t ~pdom b] marks the blocks whose execution (or
+    execution count) depends on the outcome of the branch terminating
+    block [b]: everything reachable from [b]'s successors up to, and
+    excluding, the strict postdominators of [b] — the classical
+    control-dependence region. [pdom] must come from {!postdominators}
+    on the same graph. For a branch that cannot reach any exit the
+    region degrades to plain reachability from the successors, which is
+    a sound overapproximation. Used by {!Taint} to bound implicit
+    flows. *)
+
 val reverse_postorder : t -> int list
 (** Reachable block ids in reverse postorder — the canonical iteration
     order for forward dataflow (see {!Solver}). *)

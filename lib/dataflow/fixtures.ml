@@ -10,6 +10,56 @@ let clean () =
                 { count = 3; counter = r3;
                   body = Isa.Ast.Block [ Alu (Add, r2, r2, r1) ] } ] } ]
 
+(* Workload fixtures for the taint/certify layer. Both declare a varying
+   input register, so the uncertainty source is non-trivial; they differ
+   in whether the program's timing can see it. *)
+
+let leakfree () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3
+  and r4 = Isa.Reg.r4 in
+  { Isa.Workload.name = "leakfree";
+    description =
+      "ignores its varying input register entirely; certifiably \
+       input-invariant timing on a flat machine";
+    funcs =
+      [ { Isa.Ast.name = "main";
+          body =
+            Isa.Ast.Seq
+              [ Isa.Ast.Block [ Li (r2, 0); Li (r4, 3) ];
+                Isa.Ast.Loop
+                  { count = 4; counter = r3;
+                    body = Isa.Ast.Block [ Alu (Add, r2, r2, r4) ] } ] } ];
+    inputs =
+      List.map
+        (fun v -> Isa.Exec.input ~regs:[ (r1, v) ] ())
+        [ 0; 1; 2; 3 ];
+    result_regs = [ r2 ] }
+
+let leaky () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r3 = Isa.Reg.r3 in
+  { Isa.Workload.name = "leaky";
+    description =
+      "branches on its varying input register (a falsely assumed \
+       constant-time kernel): one timing-leak, Bounded certificate";
+    funcs =
+      [ { Isa.Ast.name = "main";
+          body =
+            Isa.Ast.Seq
+              [ Isa.Ast.Block [ Li (r2, 1); Li (r3, 0) ];
+                Isa.Ast.If
+                  ( { Isa.Ast.cmp = Ne; ra = r1; rb = Isa.Ast.zero },
+                    Isa.Ast.Block
+                      [ Alu (Add, r2, r2, r2); Alu (Add, r2, r2, r2);
+                        Alu (Add, r2, r2, r2) ],
+                    Isa.Ast.Block [ Alui (Add, r3, r3, 1) ] ) ] } ];
+    inputs =
+      List.map
+        (fun v -> Isa.Exec.input ~regs:[ (r1, v) ] ())
+        [ 0; 1; 2; 3 ];
+    result_regs = [ r2; r3 ] }
+
 (* Hand-linked (not compiled from an Ast) so the broken patterns survive:
    the structured compiler could not produce most of them. *)
 let dirty () =

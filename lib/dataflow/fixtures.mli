@@ -7,6 +7,19 @@ val clean : unit -> Isa.Program.t * (string * Isa.Ast.shape) list
 (** A small compiled counted-loop program with zero lint findings of any
     severity. *)
 
+val leakfree : unit -> Isa.Workload.t
+(** A workload whose input register varies but is never read: the taint
+    analysis proves zero time-channel leaks, and the certifier issues an
+    [Invariant] certificate on the flat machine. Pinned as the
+    known-good end of the [timing-leak] rule and of
+    [predlab certify --fixture]. *)
+
+val leaky : unit -> Isa.Workload.t
+(** A workload that branches on its varying input register — a model of a
+    falsely assumed constant-time kernel. Exactly one [timing-leak]
+    finding (the branch), a [Bounded] certificate, and an expectation
+    mismatch that makes [predlab certify --fixture leaky] exit 1. *)
+
 val dirty : unit -> Isa.Program.t
 (** A hand-linked program tripping every error-severity rule (constant
     division by zero, provably negative address, out-of-range constant

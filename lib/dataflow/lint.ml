@@ -194,9 +194,48 @@ let input_regs (w : Isa.Workload.t) =
        (fun (i : Isa.Exec.input) -> List.map fst i.Isa.Exec.regs)
        w.Isa.Workload.inputs)
 
+(* --- Workload-level rules ----------------------------------------------- *)
+
+let dead_result_findings cfg (w : Isa.Workload.t) =
+  let written = Liveness.written_to_halt cfg in
+  List.filter_map
+    (fun r ->
+       if Liveness.mem_mask r written then None
+       else
+         Some
+           (finding Warning "dead-result-reg"
+              "declared result register %s is never written on any path to \
+               Halt (equivalence checks on it hold vacuously)"
+              (reg_name r)))
+    w.Isa.Workload.result_regs
+
+let timing_leak_findings w =
+  let t = Taint.of_workload w in
+  List.map
+    (fun (l : Taint.leak) ->
+       let message =
+         match l.Taint.channel with
+         | Taint.Branch ->
+           "branch outcome depends on the input (execution path and \
+            predictor channel)"
+         | Taint.Latency ->
+           "Mul/Div latency operand depends on the input (value-dependent \
+            latency channel)"
+         | Taint.Address ->
+           "memory address depends on the input (data-cache channel on \
+            cached machines)"
+       in
+       finding Warning "timing-leak" ~pc:l.Taint.pc "%s" message)
+    (Taint.leaks t)
+
 let check_workload w =
   let program, shapes = Isa.Workload.program w in
-  sort_findings (check_program ~inputs:(input_regs w) program @ check_shapes shapes)
+  let cfg = Cfg.build program in
+  sort_findings
+    (check_program ~inputs:(input_regs w) program
+     @ check_shapes shapes
+     @ dead_result_findings cfg w
+     @ timing_leak_findings w)
 
 (* --- Rendering --------------------------------------------------------- *)
 

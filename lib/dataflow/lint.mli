@@ -39,7 +39,14 @@ val check_shapes : (string * Isa.Ast.shape) list -> finding list
 
 val check_workload : Isa.Workload.t -> finding list
 (** {!check_program} (with the workload's input registers) plus
-    {!check_shapes} on its compiled form. *)
+    {!check_shapes} on its compiled form, plus the workload-level rules:
+    [dead-result-reg] ([Warning] — a declared result register that
+    {!Liveness.written_to_halt} proves is never written on any path to
+    [Halt], so equivalence checks on it pass vacuously) and
+    [timing-leak] ([Warning] — a {!Taint} time-channel candidate: a
+    branch outcome, Mul/Div latency operand, or memory address that may
+    depend on the workload's input set; see {!Taint.leaks} for the
+    machine-dependence caveats). *)
 
 val errors : finding list -> int
 val warnings : finding list -> int

@@ -53,6 +53,30 @@ let live cfg =
 let live_in cfg = fst (live cfg)
 let live_out cfg = snd (live cfg)
 
+let written_to_halt cfg =
+  let blocks = Cfg.blocks cfg in
+  let n = Array.length blocks in
+  let reach = Cfg.reachable cfg in
+  (* Blocks from which some Halt-terminated block is reachable. *)
+  let to_halt = Array.make n false in
+  let rec visit id =
+    if not to_halt.(id) then begin
+      to_halt.(id) <- true;
+      List.iter visit blocks.(id).Cfg.preds
+    end
+  in
+  Array.iter
+    (fun b -> if is_halt (snd (Cfg.terminator cfg b)) then visit b.Cfg.id)
+    blocks;
+  Array.fold_left
+    (fun m b ->
+       if reach.(b.Cfg.id) && to_halt.(b.Cfg.id) then
+         List.fold_left
+           (fun m (_, ins) -> m lor mask_of (Isa.Instr.defs ins))
+           m (Cfg.instrs cfg b)
+       else m)
+    0 blocks
+
 let dead_stores cfg =
   let _, out = live cfg in
   let reach = Cfg.reachable cfg in

@@ -21,6 +21,14 @@ val live_in : Cfg.t -> int array
 
 val live_out : Cfg.t -> int array
 
+val written_to_halt : Cfg.t -> int
+(** Bitmask of registers written by some instruction that lies on a path
+    from the entry to a [Halt]: its block is reachable and some
+    [Halt]-terminated block is reachable from it. A declared result
+    register outside this mask can only ever be observed as its
+    architectural zero — almost certainly a workload-definition typo
+    (the [dead-result-reg] lint rule). *)
+
 val dead_stores : Cfg.t -> (int * Isa.Reg.t) list
 (** [(pc, reg)] for writes in reachable blocks whose value is overwritten
     on every path before being read ([Halt] counts as reading all

@@ -169,6 +169,15 @@ let handle_lint ~workloads =
     in
     Protocol.ok ~op:"lint" (Dataflow.Lint.report_to_json targets)
 
+let handle_certify ~workloads =
+  match select_workloads workloads with
+  | Error message -> Protocol.error ~op:"certify" message
+  | Ok selected ->
+    let rows =
+      List.map (fun (_, make) -> Predictability.Certifier.row (make ())) selected
+    in
+    Protocol.ok ~op:"certify" (Predictability.Certifier.report_to_json rows)
+
 let handle_compare ~baseline ~current ~tolerance =
   let findings =
     match tolerance with
@@ -290,6 +299,7 @@ let dispatch t (request, deadline_override) =
         | Protocol.Sample { workloads; seed; samples; confidence } ->
           handle_sample t ~workloads ~seed ~samples ~confidence
         | Protocol.Lint { workloads } -> handle_lint ~workloads
+        | Protocol.Certify { workloads } -> handle_certify ~workloads
         | Protocol.Compare { baseline; current; tolerance } ->
           handle_compare ~baseline ~current ~tolerance
         | Protocol.Stats -> handle_stats t

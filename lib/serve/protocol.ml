@@ -10,6 +10,7 @@ type request =
       confidence : float option;
     }
   | Lint of { workloads : string list }
+  | Certify of { workloads : string list }
   | Compare of {
       baseline : Json.t;
       current : Json.t;
@@ -23,6 +24,7 @@ let op_name = function
   | Run _ -> "run"
   | Sample _ -> "sample"
   | Lint _ -> "lint"
+  | Certify _ -> "certify"
   | Compare _ -> "compare"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
@@ -51,7 +53,7 @@ let request_to_json ?deadline_s request =
       @ opt "seed" (fun s -> Json.Int s) seed
       @ opt "samples" (fun s -> Json.Int s) samples
       @ opt "confidence" (fun c -> Json.Float c) confidence
-    | Lint { workloads } ->
+    | Lint { workloads } | Certify { workloads } ->
       [ ("workloads",
          Json.List (List.map (fun w -> Json.String w) workloads)) ]
     | Compare { baseline; current; tolerance } ->
@@ -122,6 +124,9 @@ let request_of_json json =
     | "lint" ->
       let* workloads = workloads_field json in
       Ok (Lint { workloads })
+    | "certify" ->
+      let* workloads = workloads_field json in
+      Ok (Certify { workloads })
     | "compare" ->
       let doc name =
         match Json.member name json with
@@ -142,7 +147,8 @@ let request_of_json json =
     | other ->
       Error
         (Printf.sprintf
-           "unknown op %S (want eval/run/sample/lint/compare/stats/shutdown)"
+           "unknown op %S (want \
+            eval/run/sample/lint/certify/compare/stats/shutdown)"
            other)
   in
   Ok (request, deadline_s)

@@ -4,7 +4,8 @@
     ["op"] discriminator; responses are an envelope
     [{"ok": true, "op": OP, "result": DOC}] or
     [{"ok": false, "op": OP?, "error": MSG, ...}] — where [DOC] for the
-    [run]/[sample]/[lint] ops is {e exactly} the document the one-shot CLI
+    [run]/[sample]/[lint]/[certify] ops is {e exactly} the document the
+    one-shot CLI
     prints under [--format json] (same schema, same emitter), so a serve
     client and a batch run are byte-comparable.
 
@@ -38,6 +39,10 @@ type request =
       confidence : float option;
     }
   | Lint of { workloads : string list }
+  | Certify of { workloads : string list }
+      (** static predictability certificates over the standard machine
+          pair ({!Predictability.Certifier}); empty list = the whole
+          registry, like [lint] and [sample] *)
   | Compare of {
       baseline : Prelude.Json.t;
       current : Prelude.Json.t;

@@ -354,6 +354,76 @@ let prop_ub_sound_on_random_programs =
        let lb = bound_of Analysis.Wcet.Lower flat_config w in
        List.for_all (fun t -> lb <= t && t <= ub) times)
 
+(* --- Site-filtered walks ------------------------------------------------- *)
+
+let test_site_filter_identity_and_empty () =
+  let w = Isa.Workload.find "clamp" in
+  let _, shapes = Isa.Workload.program w in
+  let bound ?site_filter kind =
+    (Analysis.Wcet.bound ?site_filter flat_config kind ~shapes ~entry:"main")
+      .Analysis.Wcet.bound
+  in
+  List.iter
+    (fun kind ->
+       Alcotest.(check int) "all-true filter is the plain walk"
+         (bound kind)
+         (bound ~site_filter:(fun _ -> true) kind);
+       Alcotest.(check int) "all-false filter charges nothing" 0
+         (bound ~site_filter:(fun _ -> false) kind))
+    [ Analysis.Wcet.Upper; Analysis.Wcet.Lower ]
+
+(* --- Certificates -------------------------------------------------------- *)
+
+let flat_cert w = Analysis.Certify.certify Predictability.Certifier.flat_machine w
+let cached_cert w =
+  Analysis.Certify.certify Predictability.Certifier.cached_machine w
+
+let test_certify_invariant_workload () =
+  let c = flat_cert (Isa.Workload.find "fibonacci") in
+  Alcotest.(check string) "fibonacci is flat-invariant" "invariant"
+    (Analysis.Certify.verdict_name c.Analysis.Certify.verdict);
+  Alcotest.(check int) "invariant means zero spread" 0
+    c.Analysis.Certify.spread_ub;
+  Alcotest.(check int) "and zero varying sites" 0
+    c.Analysis.Certify.varying_sites;
+  Alcotest.(check bool) "lb <= ub" true
+    (c.Analysis.Certify.lb <= c.Analysis.Certify.ub)
+
+let test_certify_bounded_workload () =
+  let c = flat_cert (Isa.Workload.find "clamp") in
+  Alcotest.(check string) "clamp is bounded" "bounded"
+    (Analysis.Certify.verdict_name c.Analysis.Certify.verdict);
+  Alcotest.(check int) "both comparisons leak" 2
+    (List.length c.Analysis.Certify.leaks);
+  Alcotest.(check bool) "spread bound within the full bracket" true
+    (c.Analysis.Certify.spread_ub
+     <= c.Analysis.Certify.ub - c.Analysis.Certify.lb)
+
+let test_certify_state_channels () =
+  let flat = flat_cert (Isa.Workload.find "fibonacci") in
+  Alcotest.(check bool) "flat machine has no state channels" true
+    (flat.Analysis.Certify.state_channels = []);
+  let cached = cached_cert (Isa.Workload.find "fibonacci") in
+  Alcotest.(check string) "unknown initial cache forces bounded" "bounded"
+    (Analysis.Certify.verdict_name cached.Analysis.Certify.verdict);
+  Alcotest.(check bool) "icache channel reported" true
+    (List.mem Analysis.Certify.Icache cached.Analysis.Certify.state_channels)
+
+let test_certify_machine_relative_leaks () =
+  (* Address leaks only matter under a data cache: insertion_sort's
+     secret-indexed loads count on the cached machine, not on flat. *)
+  let has_address (c : Analysis.Certify.certificate) =
+    List.exists
+      (fun (l : Dataflow.Taint.leak) ->
+         l.Dataflow.Taint.channel = Dataflow.Taint.Address)
+      c.Analysis.Certify.leaks
+  in
+  let w = Isa.Workload.find "insertion_sort" in
+  Alcotest.(check bool) "flat drops address leaks" false
+    (has_address (flat_cert w));
+  Alcotest.(check bool) "cached keeps them" true
+    (has_address (cached_cert w))
+
 (* --- Misprediction bounds ---------------------------------------------------- *)
 
 let test_sites_structure () =
@@ -453,7 +523,18 @@ let () =
          Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
          Alcotest.test_case "classification fraction" `Quick
            test_classified_fraction;
+         Alcotest.test_case "site filter identity/empty" `Quick
+           test_site_filter_identity_and_empty;
          QCheck_alcotest.to_alcotest prop_ub_sound_on_random_programs ]);
+      ("certify",
+       [ Alcotest.test_case "invariant workload" `Quick
+           test_certify_invariant_workload;
+         Alcotest.test_case "bounded workload" `Quick
+           test_certify_bounded_workload;
+         Alcotest.test_case "state channels" `Quick
+           test_certify_state_channels;
+         Alcotest.test_case "machine-relative leaks" `Quick
+           test_certify_machine_relative_leaks ]);
       ("mispredict",
        [ Alcotest.test_case "site structure" `Quick test_sites_structure;
          Alcotest.test_case "nested multiplication" `Quick test_site_multiplication;

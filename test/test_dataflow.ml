@@ -270,6 +270,182 @@ let test_maybe_uninitialized () =
   Alcotest.(check bool) "declared input exempt" false
     (List.mem (0, r2) (Dataflow.Liveness.maybe_uninitialized cfg ~inputs:[ r2 ]))
 
+(* --- Taint ------------------------------------------------------------- *)
+
+(* Diamond used by the postdominator and taint-region tests:
+   block 0 = {Li; Br}, block 1 = the fall-through arm, block 2 = join. *)
+let diamond () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 in
+  link_main
+    [ Isa.Program.Ins (Li (r1, 1));
+      Isa.Program.Ins (Br (Eq, r1, r2, "join"));
+      Isa.Program.Ins (Alui (Add, r1, r1, 1));
+      Isa.Program.Label "join";
+      Isa.Program.Ins Halt ]
+
+let test_postdominators () =
+  let cfg = Dataflow.Cfg.build (diamond ()) in
+  let pdom = Dataflow.Cfg.postdominators cfg in
+  Alcotest.(check bool) "join postdominates the branch" true pdom.(0).(2);
+  Alcotest.(check bool) "join postdominates the arm" true pdom.(1).(2);
+  Alcotest.(check bool) "arm does not postdominate the branch" false
+    pdom.(0).(1);
+  Alcotest.(check bool) "every block postdominates itself" true
+    (pdom.(0).(0) && pdom.(1).(1) && pdom.(2).(2))
+
+let test_influence_region () =
+  let cfg = Dataflow.Cfg.build (diamond ()) in
+  let pdom = Dataflow.Cfg.postdominators cfg in
+  let region = Dataflow.Cfg.influence_region cfg ~pdom 0 in
+  Alcotest.(check bool) "arm is control-dependent on the branch" true
+    region.(1);
+  Alcotest.(check bool) "join is not (it always executes)" false region.(2)
+
+let test_seeds_of_inputs () =
+  let input regs = Isa.Exec.input ~regs () in
+  let seeds =
+    Dataflow.Taint.seeds_of_inputs
+      [ input [ (Isa.Reg.r1, 0); (Isa.Reg.r2, 7) ];
+        input [ (Isa.Reg.r1, 5); (Isa.Reg.r2, 7) ] ]
+  in
+  Alcotest.(check bool) "varying register seeded" true
+    (Dataflow.Taint.reg_tainted seeds Isa.Reg.r1);
+  Alcotest.(check bool) "constant register not seeded" false
+    (Dataflow.Taint.reg_tainted seeds Isa.Reg.r2);
+  Alcotest.(check bool) "identical memories leave mem clean" false
+    (Dataflow.Taint.mem_tainted seeds);
+  let with_mem =
+    Dataflow.Taint.seeds_of_inputs
+      [ Isa.Exec.input ~mem:[ (1000, 1) ] ();
+        Isa.Exec.input ~mem:[ (1000, 2) ] () ]
+  in
+  Alcotest.(check bool) "differing memories seed mem" true
+    (Dataflow.Taint.mem_tainted with_mem);
+  Alcotest.(check bool) "single input taints nothing" false
+    (Dataflow.Taint.reg_tainted
+       (Dataflow.Taint.seeds_of_inputs [ input [ (Isa.Reg.r1, 3) ] ])
+       Isa.Reg.r1)
+
+let seed_reg r =
+  { Dataflow.Taint.regs = 1 lsl Isa.Reg.index r; mem = false }
+
+let test_taint_explicit_flow () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 and r7 = Isa.Reg.r7 in
+  let program =
+    link_main
+      [ Isa.Program.Ins (Li (r1, 4));
+        Isa.Program.Ins (Alu (Add, r2, r1, r7));
+        Isa.Program.Ins Halt ]
+  in
+  let t = Dataflow.Taint.analyze ~seeds:(seed_reg r7) program in
+  let final = Dataflow.Taint.final_env t in
+  Alcotest.(check bool) "sum of tainted operand is tainted" true
+    (Dataflow.Taint.reg_tainted final r2);
+  Alcotest.(check bool) "constant stays clean" false
+    (Dataflow.Taint.reg_tainted final r1)
+
+let test_taint_implicit_flow () =
+  let open Isa.Instr in
+  let r2 = Isa.Reg.r2 and r7 = Isa.Reg.r7 in
+  let program =
+    link_main
+      [ Isa.Program.Ins (Br (Ne, r7, Isa.Reg.r0, "skip"));
+        Isa.Program.Ins (Li (r2, 5));
+        Isa.Program.Label "skip";
+        Isa.Program.Ins Halt ]
+  in
+  let t = Dataflow.Taint.analyze ~seeds:(seed_reg r7) program in
+  Alcotest.(check bool) "constant write under tainted branch is tainted"
+    true
+    (Dataflow.Taint.reg_tainted (Dataflow.Taint.final_env t) r2);
+  Alcotest.(check bool) "arm is control-tainted" true
+    (Dataflow.Taint.control_tainted t 1);
+  Alcotest.(check bool) "the branch itself is not control-tainted" false
+    (Dataflow.Taint.control_tainted t 0)
+
+let test_taint_fixture_leaks () =
+  let channels w =
+    List.map
+      (fun (l : Dataflow.Taint.leak) -> l.Dataflow.Taint.channel)
+      (Dataflow.Taint.leaks (Dataflow.Taint.of_workload w))
+  in
+  Alcotest.(check bool) "leakfree has no time channel" true
+    (channels (Dataflow.Fixtures.leakfree ()) = []);
+  Alcotest.(check bool) "leaky branches on its secret" true
+    (List.mem Dataflow.Taint.Branch (channels (Dataflow.Fixtures.leaky ())))
+
+(* The soundness property the certifier rests on: a register the
+   analysis leaves untainted must end with the bit-identical value on
+   every admissible input — checked against the concrete interpreter on
+   random structured programs whose r7 varies across three inputs. *)
+let random_taint_workload seed =
+  let rng = Prelude.Rng.make seed in
+  let open Isa.Instr in
+  let block () =
+    Isa.Ast.Block
+      (List.init
+         (1 + Prelude.Rng.int rng 4)
+         (fun _ ->
+            match Prelude.Rng.int rng 6 with
+            | 0 -> Alui (Add, Isa.Reg.r7, Isa.Reg.r7, 1)
+            | 1 -> Li (Isa.Reg.r8, Prelude.Rng.int rng 100 - 50)
+            | 2 -> Mul (Isa.Reg.r9, Isa.Reg.r7, Isa.Reg.r8)
+            | 3 -> Alu (Shl, Isa.Reg.r9, Isa.Reg.r8, Isa.Reg.r7)
+            | 4 -> Alui (Shr, Isa.Reg.r8, Isa.Reg.r8, 1)
+            | _ -> Alu (Xor, Isa.Reg.r7, Isa.Reg.r7, Isa.Reg.r8)))
+  in
+  let rec node depth =
+    if depth = 0 then block ()
+    else
+      match Prelude.Rng.int rng 3 with
+      | 0 ->
+        Isa.Ast.If
+          ({ Isa.Ast.cmp = Lt; ra = Isa.Reg.r7; rb = Isa.Reg.r8 },
+           node (depth - 1), node (depth - 1))
+      | 1 ->
+        Isa.Ast.Loop
+          { count = 1 + Prelude.Rng.int rng 4; counter = Isa.Reg.make depth;
+            body = node (depth - 1) }
+      | _ -> Isa.Ast.Seq [ node (depth - 1); block () ]
+  in
+  let program, _ =
+    Isa.Ast.compile [ { Isa.Ast.name = "main"; body = node 3 } ]
+  in
+  let inputs =
+    List.map
+      (fun _ ->
+         Isa.Exec.input
+           ~regs:[ (Isa.Reg.r7, Prelude.Rng.int rng 200 - 100) ] ())
+      [ (); (); () ]
+  in
+  (program, inputs)
+
+let prop_taint_sound_on_random_programs =
+  QCheck.Test.make
+    ~name:"untainted registers are input-invariant on random programs"
+    ~count:150
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+       let program, inputs = random_taint_workload seed in
+       let t =
+         Dataflow.Taint.analyze
+           ~seeds:(Dataflow.Taint.seeds_of_inputs inputs) program
+       in
+       let final = Dataflow.Taint.final_env t in
+       let outcomes = List.map (Isa.Exec.run program) inputs in
+       List.for_all
+         (fun r ->
+            Dataflow.Taint.reg_tainted final r
+            ||
+            match outcomes with
+            | [] -> true
+            | first :: rest ->
+              let v o = o.Isa.Exec.final_regs.(Isa.Reg.index r) in
+              List.for_all (fun o -> v o = v first) rest)
+         Isa.Reg.all)
+
 (* --- Lint -------------------------------------------------------------- *)
 
 let rules findings =
@@ -343,6 +519,57 @@ let test_lint_while_bound () =
     (Dataflow.Lint.errors (make 4) = 0
      && List.mem "while-bound" (rules (make 4)))
 
+let test_written_to_halt () =
+  let open Isa.Instr in
+  let r1 = Isa.Reg.r1 and r2 = Isa.Reg.r2 in
+  let program =
+    link_main
+      [ Isa.Program.Ins (Li (r1, 1));
+        Isa.Program.Ins (Br (Eq, r1, Isa.Reg.r0, "skip"));
+        Isa.Program.Ins (Li (r2, 2));
+        Isa.Program.Label "skip";
+        Isa.Program.Ins Halt ]
+  in
+  let mask =
+    Dataflow.Liveness.written_to_halt (Dataflow.Cfg.build program)
+  in
+  Alcotest.(check bool) "unconditional write reaches halt" true
+    (mask land (1 lsl Isa.Reg.index r1) <> 0);
+  Alcotest.(check bool) "conditional write reaches halt too" true
+    (mask land (1 lsl Isa.Reg.index r2) <> 0);
+  Alcotest.(check bool) "never-written register does not" false
+    (mask land (1 lsl Isa.Reg.index Isa.Reg.r5) <> 0)
+
+let test_lint_dead_result_reg () =
+  let workload result_regs =
+    { Isa.Workload.name = "t"; description = "test";
+      funcs =
+        [ { Isa.Ast.name = "main";
+            body = Isa.Ast.Block [ Isa.Instr.Li (Isa.Reg.r1, 1) ] } ];
+      inputs = [ Isa.Exec.input () ]; result_regs }
+  in
+  let has_rule rule regs =
+    List.mem rule (rules (Dataflow.Lint.check_workload (workload regs)))
+  in
+  Alcotest.(check bool) "unwritten result register flagged" true
+    (has_rule "dead-result-reg" [ Isa.Reg.r2 ]);
+  Alcotest.(check bool) "written result register clean" false
+    (has_rule "dead-result-reg" [ Isa.Reg.r1 ]);
+  (* It is a warning, not an error: the lint gate must not trip. *)
+  Alcotest.(check int) "no errors" 0
+    (Dataflow.Lint.errors (Dataflow.Lint.check_workload (workload [ Isa.Reg.r2 ])))
+
+let test_lint_timing_leak () =
+  let rules_of w = rules (Dataflow.Lint.check_workload w) in
+  Alcotest.(check bool) "leaky fixture trips timing-leak" true
+    (List.mem "timing-leak" (rules_of (Dataflow.Fixtures.leaky ())));
+  Alcotest.(check bool) "leakfree fixture does not" false
+    (List.mem "timing-leak" (rules_of (Dataflow.Fixtures.leakfree ())));
+  (* Warning severity: findings gate nothing. *)
+  Alcotest.(check int) "leaky fixture has no errors" 0
+    (Dataflow.Lint.errors
+       (Dataflow.Lint.check_workload (Dataflow.Fixtures.leaky ())))
+
 let test_lint_workloads_error_free () =
   List.iter
     (fun (name, make) ->
@@ -384,13 +611,26 @@ let () =
       ("liveness",
        [ Alcotest.test_case "dead store" `Quick test_dead_store;
          Alcotest.test_case "maybe uninitialized" `Quick
-           test_maybe_uninitialized ]);
+           test_maybe_uninitialized;
+         Alcotest.test_case "written to halt" `Quick test_written_to_halt ]);
+      ("taint",
+       [ Alcotest.test_case "postdominators" `Quick test_postdominators;
+         Alcotest.test_case "influence region" `Quick test_influence_region;
+         Alcotest.test_case "input seeding" `Quick test_seeds_of_inputs;
+         Alcotest.test_case "explicit flow" `Quick test_taint_explicit_flow;
+         Alcotest.test_case "implicit flow" `Quick test_taint_implicit_flow;
+         Alcotest.test_case "fixture leaks" `Quick test_taint_fixture_leaks;
+         QCheck_alcotest.to_alcotest prop_taint_sound_on_random_programs ]);
       ("lint",
        [ Alcotest.test_case "clean fixture" `Quick test_lint_clean_fixture;
          Alcotest.test_case "dirty fixture" `Quick test_lint_dirty_fixture;
          Alcotest.test_case "loop counter clobber" `Quick
            test_lint_loop_clobber;
          Alcotest.test_case "while bounds" `Quick test_lint_while_bound;
+         Alcotest.test_case "dead result register" `Quick
+           test_lint_dead_result_reg;
+         Alcotest.test_case "timing-leak warning" `Quick
+           test_lint_timing_leak;
          Alcotest.test_case "workloads are error-free" `Quick
            test_lint_workloads_error_free;
          Alcotest.test_case "json report" `Quick test_lint_json_shape ]) ]

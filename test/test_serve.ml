@@ -88,6 +88,8 @@ let test_protocol_round_trip () =
          { workloads = []; seed = None; samples = None; confidence = None },
        Some 0.25);
       (Protocol.Lint { workloads = [ "clamp" ] }, None);
+      (Protocol.Certify { workloads = [ "clamp"; "fir" ] }, None);
+      (Protocol.Certify { workloads = [] }, None);
       (Protocol.Compare
          { baseline = Json.Obj [ ("version", Json.Int 2) ];
            current = Json.Obj [ ("version", Json.Int 2) ];
@@ -129,6 +131,7 @@ let test_protocol_rejects () =
       ("zero deadline", {|{"op":"stats","deadline":0}|});
       ("negative deadline", {|{"op":"stats","deadline":-2.5}|});
       ("workloads not strings", {|{"op":"lint","workloads":[1]}|});
+      ("certify workloads not strings", {|{"op":"certify","workloads":[1]}|});
       ("compare missing current", {|{"op":"compare","baseline":{}}|});
       ("negative tolerance",
        {|{"op":"compare","baseline":{},"current":{},"tolerance":-1}|}) ]
@@ -185,6 +188,23 @@ let test_memo_hit_on_repeat () =
       Alcotest.(check bool) "memo retains the cell" true
         (int_field "memo_cells" stats >= 1);
       Alcotest.(check int) "no errors" 0 (int_field "errors" stats))
+
+(* The daemon's certify result must be the exact document the one-shot
+   CLI builds — both go through Certifier.report_to_json, so equality is
+   by construction; this test pins the construction. *)
+let test_certify_matches_cli_document () =
+  with_daemon (fun _socket client ->
+      let result =
+        result_of (request client (Protocol.Certify { workloads = [ "clamp" ] }))
+      in
+      let expected =
+        Predictability.Certifier.report_to_json
+          [ Predictability.Certifier.row (Isa.Workload.find "clamp") ]
+      in
+      Alcotest.(check string) "same bytes as the CLI constructor"
+        (Json.to_string expected) (Json.to_string result);
+      Alcotest.(check (option string)) "schema" (Some "predlab/certify")
+        (Option.bind (Json.member "schema" result) Json.string_value))
 
 (* The daemon answers a fixed-seed sample request with the same bytes no
    matter how many worker domains it was started with (the report's own
@@ -409,7 +429,9 @@ let () =
          Alcotest.test_case "run deadline classified by supervisor" `Quick
            test_run_deadline_classified_by_supervisor;
          Alcotest.test_case "compare gates two report documents" `Quick
-           test_compare_gates_reports ]);
+           test_compare_gates_reports;
+         Alcotest.test_case "certify matches the CLI document" `Quick
+           test_certify_matches_cli_document ]);
       ("robustness",
        [ Alcotest.test_case "malformed line keeps the connection" `Quick
            test_malformed_line_keeps_connection;
