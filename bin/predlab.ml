@@ -9,8 +9,10 @@
      0  success
      1  every experiment completed, but some reproduction check failed
      2  usage/input error (unknown id, malformed file or --inject spec)
-     3  supervision failure: >= 1 experiment crashed or timed out
-     4  chaos: the supervisor itself degraded ungracefully *)
+     3  supervision failure: >= 1 experiment crashed or timed out (for
+        `query`, also a --timeout overrun against a wedged daemon)
+     4  chaos: the supervisor or the serve plane degraded ungracefully
+     5  overloaded: the serve daemon shed the connection (backpressure) *)
 
 type format = Text | Json
 
@@ -142,16 +144,27 @@ let run_all jobs format deadline retries inject journal resume out =
   run_supervised_cli ~jobs ~format ~deadline ~retries ~inject ~journal
     ~resume ~out ~entries:Predictability.Experiments.all
 
-let chaos jobs format seed =
+let chaos jobs format plane seed =
   apply_jobs jobs;
-  let verdict = Predictability.Chaos.run ~jobs ~seed () in
-  (match format with
-   | Text -> print_string (Predictability.Chaos.render verdict)
-   | Json ->
-     print_string
-       (Prelude.Json.to_string_pretty
-          (Predictability.Chaos.verdict_to_json verdict)));
-  if verdict.Predictability.Chaos.violations <> [] then exit 4
+  match plane with
+  | `Experiments ->
+    let verdict = Predictability.Chaos.run ~jobs ~seed () in
+    (match format with
+     | Text -> print_string (Predictability.Chaos.render verdict)
+     | Json ->
+       print_string
+         (Prelude.Json.to_string_pretty
+            (Predictability.Chaos.verdict_to_json verdict)));
+    if verdict.Predictability.Chaos.violations <> [] then exit 4
+  | `Serve ->
+    let verdict = Serve.Chaos.run ~seed () in
+    (match format with
+     | Text -> print_string (Serve.Chaos.render verdict)
+     | Json ->
+       print_string
+         (Prelude.Json.to_string_pretty
+            (Serve.Chaos.verdict_to_json verdict)));
+    if verdict.Serve.Chaos.violations <> [] then exit 4
 
 (* `stats` keeps the plain unsupervised path (schema v1): it is the cost
    summary and the ci.sh baseline-compare input, and doubles as coverage
@@ -443,16 +456,19 @@ let sample jobs format seed samples confidence check names =
   then exit 1
 
 (* `predlab serve`: the resident evaluation daemon (lib/serve). Blocks
-   until a shutdown request arrives; exits 0 on that clean path, 2 on any
-   setup failure (socket busy, bad flags). *)
-let serve socket jobs deadline cache_bound =
+   until a shutdown request or SIGTERM/SIGINT arrives (graceful drain
+   either way); exits 0 on that clean path, 2 on any setup failure
+   (socket busy, bad flags). *)
+let serve socket jobs deadline cache_bound conns queue idle drain max_frame =
   apply_jobs jobs;
   let config =
     { Serve.Daemon.socket; jobs; deadline_s = deadline;
-      memo_bound = cache_bound }
+      memo_bound = cache_bound; conns; queue; idle_s = idle;
+      drain_s = drain; max_frame }
   in
   let on_ready () =
-    Printf.eprintf "predlab serve: listening on %s (jobs=%d)\n%!" socket jobs
+    Printf.eprintf "predlab serve: listening on %s (jobs=%d, conns=%d)\n%!"
+      socket jobs conns
   in
   match Serve.Daemon.run ~on_ready config with
   | () -> Printf.eprintf "predlab serve: shut down cleanly\n%!"
@@ -536,8 +552,8 @@ let run_exit_of result =
       | Some p, Some t when p < t -> 1
       | _ -> 0)
 
-let query socket connect_timeout deadline retries seed samples confidence
-    tolerance raw args =
+let query socket connect_timeout timeout deadline retries seed samples
+    confidence tolerance raw args =
   let request_json =
     match raw with
     | Some line -> (
@@ -564,11 +580,17 @@ let query socket connect_timeout deadline retries seed samples confidence
     let response =
       Fun.protect
         ~finally:(fun () -> Serve.Client.close client)
-        (fun () -> Serve.Client.request client request_json)
+        (fun () ->
+           Serve.Client.request ?timeout_s:timeout client request_json)
     in
     (match response with
-     | Error message ->
-       Printf.eprintf "predlab query: %s\n" message;
+     | Error (Serve.Client.Timeout after_s) ->
+       (* A wedged daemon is a supervision-style failure, not usage:
+          same exit as a timed-out experiment. *)
+       Printf.eprintf "predlab query: timed out after %gs\n" after_s;
+       exit 3
+     | Error error ->
+       Printf.eprintf "predlab query: %s\n" (Serve.Client.error_message error);
        exit 2
      | Ok response -> (
          let member name = Prelude.Json.member name response in
@@ -599,11 +621,12 @@ let query socket connect_timeout deadline retries seed samples confidence
              | None -> "unknown error"
            in
            Printf.eprintf "predlab query: %s\n" error_message;
-           let timed_out =
-             Option.bind (member "status") Prelude.Json.string_value
-             = Some "timed_out"
-           in
-           exit (if timed_out then 3 else 1)
+           (match
+              Option.bind (member "status") Prelude.Json.string_value
+            with
+            | Some "timed_out" -> exit 3
+            | Some "overloaded" -> exit 5
+            | _ -> exit 1)
          | _ ->
            Printf.eprintf "predlab query: malformed response envelope\n";
            exit 2))
@@ -685,9 +708,10 @@ let inject_arg =
            ~doc:"Arm a fault-injection site for this run (repeatable; \
                  fires on the site's first arrival). ACTION is $(b,raise), \
                  $(b,timeout) or $(b,delay:MS); sites include \
-                 $(b,experiment:<ID>), $(b,parallel.spawn) and \
-                 $(b,parallel.task). Example: \
-                 --inject experiment:EQ4=raise.")
+                 $(b,experiment:<ID>), $(b,parallel.spawn), \
+                 $(b,parallel.task) and the serve plane's \
+                 $(b,serve.accept)/$(b,serve.read)/$(b,serve.write). \
+                 Example: --inject experiment:EQ4=raise.")
 
 let journal_arg =
   Arg.(value
@@ -746,21 +770,35 @@ let chaos_cmd =
     Arg.(value
          & opt int 0
          & info [ "seed" ] ~docv:"N"
-             ~doc:"Campaign seed: deterministically picks which \
-                   experiments get raise/delay/timeout faults. Equal \
-                   seeds give equal campaigns on any machine.")
+             ~doc:"Campaign seed: deterministically picks which sites \
+                   get raise/delay/timeout faults. Equal seeds give \
+                   equal campaigns on any machine.")
+  in
+  let plane_arg =
+    Arg.(value
+         & opt (enum [ ("experiments", `Experiments); ("serve", `Serve) ])
+             `Experiments
+         & info [ "plane" ] ~docv:"PLANE"
+             ~doc:"What to attack: $(b,experiments) (the supervisor, \
+                   default) or $(b,serve) (a live daemon over real \
+                   sockets: torn frames, slowloris, disconnects, \
+                   oversized frames, burst load and armed \
+                   serve.accept/read/write sites).")
   in
   Cmd.v
     (Cmd.info "chaos"
-       ~doc:"Seeded fault campaign over the full registry: run all \
+       ~doc:"Seeded fault campaign. --plane experiments: run all \
              experiments under persistent injected faults (no retries) \
              and again under transient faults (one retry), then assert \
              graceful degradation — no lost experiments, registry order \
              preserved, every injected failure classified, retries \
-             recovering transients. Exits 4 on a supervision violation; \
-             injected failures themselves are expected and do not fail \
-             the command.")
-    Term.(const chaos $ jobs_arg $ format_arg $ seed_arg)
+             recovering transients. --plane serve: drive adversarial \
+             clients and armed fault sites against an in-process daemon \
+             and assert it never dies, sheds deterministically and keeps \
+             responses byte-identical. Exits 4 on a violation; injected \
+             failures themselves are expected and do not fail the \
+             command.")
+    Term.(const chaos $ jobs_arg $ format_arg $ plane_arg $ seed_arg)
 
 let stats_cmd =
   Cmd.v
@@ -969,16 +1007,94 @@ let serve_cmd =
                    (FIFO eviction past it). The $(b,stats) op reports \
                    occupancy.")
   in
+  let conns_arg =
+    Arg.(value
+         & opt positive_int Serve.Daemon.default_conns
+         & info [ "conns" ] ~docv:"N"
+             ~doc:"Connection worker domains: how many client connections \
+                   are served concurrently (default 4).")
+  in
+  let queue_arg =
+    let nonneg =
+      let parse s =
+        match Arg.conv_parser Arg.int s with
+        | Ok n when n >= 0 -> Ok n
+        | Ok n -> Error (`Msg (Printf.sprintf "%d is a negative bound" n))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.int)
+    in
+    Arg.(value
+         & opt nonneg Serve.Daemon.default_queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Pending-connection queue bound: connections past it \
+                   (while every worker is busy) are shed with the \
+                   structured $(b,overloaded) envelope instead of \
+                   queueing without bound. 0 sheds whenever all workers \
+                   are busy.")
+  in
+  let idle_arg =
+    let idle_conv =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok d when d > 0. -> Ok (Some d)
+        | Ok d when d = 0. -> Ok None
+        | Ok d -> Error (`Msg (Printf.sprintf "%g is not a valid budget" d))
+        | Error e -> Error e
+      in
+      let print ppf = function
+        | None -> Format.pp_print_string ppf "0"
+        | Some d -> Arg.conv_printer Arg.float ppf d
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value
+         & opt idle_conv Serve.Daemon.default_idle_s
+         & info [ "idle" ] ~docv:"SEC"
+             ~doc:"Per-connection budget for one complete request frame \
+                   (and one response write): a wedged or byte-dripping \
+                   client is reaped past it, never blocking its worker \
+                   indefinitely. 0 disables reaping (default 30).")
+  in
+  let drain_arg =
+    let positive_float =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok d when d > 0. -> Ok d
+        | Ok d -> Error (`Msg (Printf.sprintf "%g is not a positive budget" d))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.float)
+    in
+    Arg.(value
+         & opt positive_float Serve.Daemon.default_drain_s
+         & info [ "drain" ] ~docv:"SEC"
+             ~doc:"Graceful-drain budget: on shutdown/SIGTERM/SIGINT, how \
+                   long in-flight connections get to finish before being \
+                   force-reset (default 5).")
+  in
+  let max_frame_arg =
+    Arg.(value
+         & opt positive_int Serve.Daemon.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Byte cap on one request line: an oversized frame is \
+                   discarded whole and answered with a request-level \
+                   error, the connection survives, and daemon memory \
+                   stays bounded (default 1 MiB).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident evaluation daemon: accept JSONL requests \
              (eval/run/sample/lint/certify/stats/shutdown) on a Unix-domain \
-             socket, answered from a shared memo-cached engine per \
-             workload. Result documents match the one-shot CLI's \
-             --format json output byte-for-byte. Blocks until a shutdown \
-             request; pair with $(b,predlab query).")
+             socket, served by a bounded pool of $(b,--conns) worker \
+             domains over shared memo-cached engines. Result documents \
+             match the one-shot CLI's --format json output byte-for-byte \
+             for any --jobs/--conns. Overload is shed with a structured \
+             envelope; shutdown (request or SIGTERM/SIGINT) drains \
+             gracefully. Pair with $(b,predlab query).")
     Term.(const serve $ socket_arg $ jobs_arg $ deadline_arg
-          $ cache_bound_arg)
+          $ cache_bound_arg $ conns_arg $ queue_arg $ idle_arg $ drain_arg
+          $ max_frame_arg)
 
 let query_cmd =
   let connect_timeout_arg =
@@ -988,6 +1104,25 @@ let query_cmd =
              ~doc:"Keep retrying a refused connection for up to SEC \
                    seconds — covers the daemon's startup window in \
                    scripts.")
+  in
+  let timeout_arg =
+    let positive_float =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok d when d > 0. -> Ok d
+        | Ok d -> Error (`Msg (Printf.sprintf "%g is not a positive budget" d))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.float)
+    in
+    Arg.(value
+         & opt (some positive_float) None
+         & info [ "timeout" ] ~docv:"SEC"
+             ~doc:"Round-trip budget against a connected daemon: if no \
+                   complete response line arrives within SEC seconds \
+                   (monotonic clock), exit 3 — a wedged daemon must not \
+                   hang the query forever. Distinct from $(b,--deadline), \
+                   which is enforced daemon-side.")
   in
   let seed_arg =
     Arg.(value
@@ -1036,10 +1171,11 @@ let query_cmd =
              print the result document (for run/sample/lint/certify: the \
              same bytes the one-shot CLI prints under --format json). Exit \
              status mirrors the CLI: 0 ok, 1 failed checks, 2 \
-             usage/connection error, 3 timed-out or crashed.")
-    Term.(const query $ socket_arg $ connect_timeout_arg $ deadline_arg
-          $ retries_arg $ seed_arg $ samples_arg $ confidence_arg
-          $ tolerance_arg $ raw_arg $ args_arg)
+             usage/connection error, 3 timed-out or crashed (including a \
+             $(b,--timeout) overrun), 5 shed by an overloaded daemon.")
+    Term.(const query $ socket_arg $ connect_timeout_arg $ timeout_arg
+          $ deadline_arg $ retries_arg $ seed_arg $ samples_arg
+          $ confidence_arg $ tolerance_arg $ raw_arg $ args_arg)
 
 let main =
   Cmd.group

@@ -130,7 +130,7 @@ dune exec bin/predlab.exe -- chaos --jobs 2 --seed 1
 PREDLAB=_build/default/bin/predlab.exe
 SOCK=_build/predlab-ci.sock
 rm -f "$SOCK"
-"$PREDLAB" serve --socket "$SOCK" --jobs 2 &
+"$PREDLAB" serve --socket "$SOCK" --jobs 2 --conns 4 &
 SERVE_PID=$!
 "$PREDLAB" query --socket "$SOCK" eval clamp 0 0 > _build/serve-miss.json
 grep -q '"cached": false' _build/serve-miss.json
@@ -162,6 +162,62 @@ grep -q '"passed": true' _build/serve-compare.json
   > _build/serve-timeout.json && serve_status=0 || serve_status=$?
 test "$serve_status" -eq 3
 grep -q '"timed_out": 1' _build/serve-timeout.json
+# Concurrency: four simultaneous clients on the --conns 4 pool, each
+# response byte-identical to the one-shot CLI document — worker domains
+# share the engine table but never each other's responses.
+"$PREDLAB" query --socket "$SOCK" sample clamp > _build/serve-par-1.json &
+PAR_1=$!
+"$PREDLAB" query --socket "$SOCK" sample clamp > _build/serve-par-2.json &
+PAR_2=$!
+"$PREDLAB" query --socket "$SOCK" sample clamp > _build/serve-par-3.json &
+PAR_3=$!
+"$PREDLAB" query --socket "$SOCK" sample clamp > _build/serve-par-4.json &
+PAR_4=$!
+wait "$PAR_1"
+wait "$PAR_2"
+wait "$PAR_3"
+wait "$PAR_4"
+cmp _build/serve-par-1.json _build/cli-sample.json
+cmp _build/serve-par-2.json _build/cli-sample.json
+cmp _build/serve-par-3.json _build/cli-sample.json
+cmp _build/serve-par-4.json _build/cli-sample.json
 "$PREDLAB" query --socket "$SOCK" shutdown > /dev/null
 wait "$SERVE_PID"
 test ! -e "$SOCK"
+
+# Frame bound and graceful drain. A daemon with a small --max-frame must
+# reject an over-cap request with the structured oversized envelope (exit
+# 1, message names the cap) while staying alive for the next query; a
+# SIGTERM must then drain it cleanly: exit 0 and the socket unlinked.
+SOCK2=_build/predlab-ci-frame.sock
+rm -f "$SOCK2"
+"$PREDLAB" serve --socket "$SOCK2" --jobs 1 --conns 2 --max-frame 4096 &
+FRAME_PID=$!
+BIG=$(awk 'BEGIN { for (i = 0; i < 5000; i++) printf "x" }')
+set +e
+"$PREDLAB" query --socket "$SOCK2" certify "$BIG" 2> _build/serve-oversized.err
+frame_status=$?
+set -e
+test "$frame_status" -eq 1
+grep -q "frame exceeds 4096 bytes" _build/serve-oversized.err
+"$PREDLAB" query --socket "$SOCK2" stats > _build/serve-frame-stats.json
+grep -q '"oversized_frames": 1' _build/serve-frame-stats.json
+kill -TERM "$FRAME_PID"
+wait "$FRAME_PID"
+test ! -e "$SOCK2"
+
+# Serve chaos gate: the seeded campaign (adversarial clients, armed
+# serve.* fault sites) must report graceful degradation, exit 0.
+"$PREDLAB" chaos --plane serve --seed 1
+
+# Serve bench kernels (including the concurrent-throughput daemon round)
+# must still run. BENCH_4.json is the committed trajectory point recorded
+# after the worker-pool daemon landed.
+dune exec bench/main.exe -- --only SERVE
+dune exec bin/predlab.exe -- compare BENCH_3.json BENCH_4.json --tolerance 400
+if grep -q '"engine": "fast"' BENCH_4.json; then
+  if ! grep -q '"id": "FIG1.FAST"' BENCH_4.json; then
+    echo "fast-engine kernels present but the FIG1.FAST oracle is absent" >&2
+    exit 1
+  fi
+fi

@@ -111,31 +111,43 @@ let write_atomic path contents =
   Unix.rename tmp path;
   fsync_dir (Filename.dirname path)
 
+(* Replay through the bounded line reader rather than slurping the file:
+   memory stays O(one line) however large the journal grew, and a single
+   line over the 1 MiB frame cap — no append of ours ever writes one, so
+   it is corruption or tampering — is a named load error, not an
+   allocation storm. A torn final line (no trailing newline: the mark of
+   a mid-write crash) is ignored, exactly as before. *)
 let load path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error _ -> Ok []
-  | contents ->
-    let lines = String.split_on_char '\n' contents in
-    (* Drop the final element: either the empty string after the last
-       complete line's newline, or a torn line from a mid-write crash.
-       Everything before it must parse. *)
-    let complete =
-      match List.rev lines with [] -> [] | _ :: rest -> List.rev rest
-    in
-    let rec parse acc lineno = function
-      | [] -> Ok (List.rev acc)
-      | "" :: rest -> parse acc (lineno + 1) rest
-      | line :: rest -> (
-          match Json.parse line with
-          | Error message ->
-            Error (Printf.sprintf "%s:%d: %s" path lineno message)
-          | Ok json -> (
-              match entry_of_json json with
-              | Error message ->
-                Error (Printf.sprintf "%s:%d: %s" path lineno message)
-              | Ok entry -> parse (entry :: acc) (lineno + 1) rest))
-    in
-    parse [] 1 complete
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> Ok []
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+         let reader = Prelude.Lineio.reader fd in
+         let rec parse acc lineno =
+           match Prelude.Lineio.read_line reader with
+           | `Eof | `Partial _ -> Ok (List.rev acc)
+           | `Idle -> assert false  (* no idle budget armed *)
+           | `Oversized ->
+             Error
+               (Printf.sprintf
+                  "%s:%d: journal line exceeds the %d-byte frame cap" path
+                  lineno Prelude.Lineio.default_max_line)
+           | `Line "" -> parse acc (lineno + 1)
+           | `Line line when String.trim line = "" ->
+             parse acc (lineno + 1)
+           | `Line line -> (
+               match Json.parse line with
+               | Error message ->
+                 Error (Printf.sprintf "%s:%d: %s" path lineno message)
+               | Ok json -> (
+                   match entry_of_json json with
+                   | Error message ->
+                     Error (Printf.sprintf "%s:%d: %s" path lineno message)
+                   | Ok entry -> parse (entry :: acc) (lineno + 1)))
+         in
+         parse [] 1)
 
 let completed_ids entries =
   let last_status =

@@ -1,0 +1,7 @@
+type t = int Atomic.t
+
+let make () = Atomic.make 0
+let incr t = Atomic.incr t
+let decr t = Atomic.decr t
+let add t n = ignore (Atomic.fetch_and_add t n)
+let get t = Atomic.get t

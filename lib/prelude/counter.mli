@@ -1,0 +1,21 @@
+(** Shared event counters for multi-domain servers.
+
+    A thin veneer over [int Atomic.t] so call sites read as what they are
+    (served requests, shed connections, reaped idlers) rather than as
+    atomics plumbing. Every operation is lock-free and safe from any
+    domain; [get] is a plain atomic load, so a snapshot assembled from
+    several counters is per-counter exact but not a cross-counter
+    consistent cut — fine for stats, not for invariants. *)
+
+type t
+
+val make : unit -> t
+(** A fresh counter at 0. *)
+
+val incr : t -> unit
+val decr : t -> unit
+
+val add : t -> int -> unit
+(** Add [n] (may be negative). *)
+
+val get : t -> int

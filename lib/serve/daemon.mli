@@ -1,48 +1,93 @@
 (** The [predlab serve] daemon: a memo-cached evaluation service over a
-    Unix-domain socket.
+    Unix-domain socket, served by a bounded pool of worker domains.
 
-    One process, one listener, one request at a time (requests themselves
-    fan out over the {!Prelude.Parallel} domain pool): connections are
-    accepted in order and each connection's JSONL requests are answered in
-    order ({!Protocol}). What makes the daemon pay off is residency — the
-    per-workload fast-path engines ({!Fastpath.Engine}), their compiled
-    traces, block summaries and {e size-bounded} [T_p(q,i)] memo tables
-    (keyed by program digest, packed state, packed input) persist across
-    requests and across connections, so repeated traffic is answered from
-    cache. [run]-op experiments execute under the PR 5 supervisor plane:
-    per-request isolation, cooperative deadlines classified as
-    [timed_out], optional retries — a request can fail; the daemon does
-    not.
+    The accept loop (main domain) hands each connection to one of
+    [conns] resident worker domains through a bounded pending queue;
+    when all workers are busy {e and} the queue is full, new connections
+    are shed immediately with the structured
+    {!Protocol.overloaded} envelope instead of queueing without bound.
+    What makes the daemon pay off is residency — the per-workload
+    fast-path engines ({!Fastpath.Engine}), their compiled traces, block
+    summaries and {e size-bounded} [T_p(q,i)] memo tables persist across
+    requests and connections and are shared by all workers (each engine
+    is internally mutex-guarded; the engine table and every daemon
+    counter are likewise guarded or atomic).
 
-    Failure containment invariants (the test_serve suite gates all of
-    them): a malformed request line yields one error envelope and leaves
-    the connection open; a crashing or deadline-blown request yields an
-    error (or [timed_out]-status) envelope and leaves the daemon serving;
-    a dropped connection never kills the accept loop; responses are
-    bit-identical for any [jobs] count. *)
+    Connection edges are hardened ({!Prelude.Lineio}): request frames
+    are read through a [max_frame]-bounded reader — an oversized frame
+    costs one {!Protocol.oversized} error envelope, not the connection,
+    and never more than [max_frame + one chunk] of memory; reads and
+    writes carry the [idle_s] monotonic budget, so a wedged or slowloris
+    peer is reaped (and counted) instead of parking a worker while
+    well-behaved siblings wait.
+
+    Shutdown is a graceful drain: SIGTERM, SIGINT or a [shutdown]
+    request stops the accept loop, sheds whatever is still queued,
+    lets in-flight connections finish under [drain_s], force-resets the
+    stragglers, joins the workers and unlinks the socket.
+
+    Failure containment invariants (the test_serve suite and the serve
+    chaos plane gate all of them): a malformed or oversized request line
+    yields one error envelope and leaves the connection open; a crashing
+    or deadline-blown request yields an error (or [timed_out]-status)
+    envelope and leaves the daemon serving; a dropped connection or an
+    armed [serve.accept]/[serve.read]/[serve.write] fault site never
+    kills the accept loop; responses are bit-identical to the one-shot
+    CLI for any [jobs]/[conns] count. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path (length-limited by the OS) *)
-  jobs : int;  (** worker domains for request evaluation *)
+  jobs : int;  (** worker domains for request evaluation (per request) *)
   deadline_s : float option;
       (** default per-request cooperative budget; a request's ["deadline"]
           field overrides it *)
   memo_bound : int;
       (** per-workload cap on memoised [T_p] cells (oldest evicted
           first) — resident processes must not grow without bound *)
+  conns : int;  (** connection worker domains: concurrent connections served *)
+  queue : int;
+      (** pending-connection queue bound; [0] = shed whenever every
+          worker is busy *)
+  idle_s : float option;
+      (** per-connection budget for reading one complete request frame
+          and for draining one response write; [None] = never reap *)
+  drain_s : float;
+      (** graceful-drain budget: how long shutdown waits for in-flight
+          connections before force-resetting them *)
+  max_frame : int;  (** byte cap on a single request line *)
 }
 
 val default_memo_bound : int
 (** 65536 cells per workload engine. *)
 
+val default_conns : int
+(** 4 connection workers. *)
+
+val default_queue : int
+(** 16 pending connections. *)
+
+val default_idle_s : float option
+(** 30 seconds. *)
+
+val default_drain_s : float
+(** 5 seconds. *)
+
+val default_max_frame : int
+(** {!Prelude.Lineio.default_max_line} (1 MiB). *)
+
 exception Busy of string
-(** Raised by {!run} when a live daemon already listens on the socket
-    (a dead daemon's stale socket file is silently replaced). *)
+(** Raised by {!run} when a live daemon already listens on the socket or
+    another daemon holds the socket's lockfile mid-startup (a dead
+    daemon's stale socket file is silently replaced — the lockfile plus
+    a connect probe make the claim race-free across processes). *)
 
 val run : ?on_ready:(unit -> unit) -> config -> unit
-(** Serve until a [shutdown] request arrives, then close the listener,
-    unlink the socket and return. [on_ready] fires once the socket is
+(** Serve until a [shutdown] request or SIGTERM/SIGINT arrives, then
+    drain and return: the listener closes, queued connections are shed,
+    in-flight connections finish under [drain_s], workers are joined and
+    the socket is unlinked. [on_ready] fires once the socket is
     listening (before the first accept) — test scaffolding.
     @raise Busy, [Unix.Unix_error] or [Sys_error] on setup failure;
-    @raise Invalid_argument on a non-positive [jobs]/[memo_bound] or
-    non-positive [deadline_s]. *)
+    @raise Invalid_argument on non-positive [jobs]/[memo_bound]/[conns]/
+    [max_frame], negative [queue], or non-positive
+    [deadline_s]/[idle_s]/[drain_s]. *)

@@ -166,3 +166,21 @@ let error ?op ?(fields = []) message =
            | None -> []
            | Some op -> [ ("op", Json.String op) ]) )
      @ (("error", Json.String message) :: fields))
+
+let overloaded ~conns ~queue =
+  error
+    ~fields:
+      [ ("status", Json.String "overloaded");
+        ("conns", Json.Int conns);
+        ("queue", Json.Int queue) ]
+    (Printf.sprintf
+       "overloaded: all %d connection workers busy and the pending queue \
+        (bound %d) is full; retry later" conns queue)
+
+let oversized ~max_frame =
+  error
+    ~fields:
+      [ ("status", Json.String "oversized");
+        ("max_frame", Json.Int max_frame) ]
+    (Printf.sprintf
+       "frame exceeds %d bytes; request dropped, connection kept" max_frame)

@@ -74,3 +74,15 @@ val error :
   Prelude.Json.t
 (** Failure envelope; [fields] splices extra detail (e.g.
     [("after_s", ...)] on a timed-out request). *)
+
+val overloaded : conns:int -> queue:int -> Prelude.Json.t
+(** The backpressure envelope a shed connection receives instead of
+    service: [ok: false] with [status: "overloaded"] plus the daemon's
+    worker count and queue bound, so clients can distinguish "at
+    capacity, retry later" (exit 5 in the CLI taxonomy) from a request
+    error. *)
+
+val oversized : max_frame:int -> Prelude.Json.t
+(** The request-level error for a frame over the daemon's [--max-frame]
+    byte cap: [status: "oversized"] plus the cap. The offending line is
+    discarded whole and the connection stays open for the next request. *)

@@ -585,6 +585,139 @@ let test_listx_transpose () =
     [ [ 1; 3 ]; [ 2; 4 ] ]
     (Prelude.Listx.transpose [ [ 1; 2 ]; [ 3; 4 ] ])
 
+(* --- Lineio -------------------------------------------------------------- *)
+
+module Lineio = Prelude.Lineio
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          [ a; b ])
+    (fun () -> f a b)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let test_lineio_lines_and_partial () =
+  with_socketpair (fun a b ->
+      write_all a "one\ntwo\n";
+      let r = Lineio.reader b in
+      (match Lineio.read_line r with
+       | `Line l -> Alcotest.(check string) "first line" "one" l
+       | _ -> Alcotest.fail "expected first line");
+      (match Lineio.read_line r with
+       | `Line l -> Alcotest.(check string) "second line" "two" l
+       | _ -> Alcotest.fail "expected second line");
+      (* A torn final frame (no newline before the peer hangs up) comes
+         back as Partial, then the stream is at Eof. *)
+      write_all a "torn";
+      Unix.close a;
+      (match Lineio.read_line r with
+       | `Partial l -> Alcotest.(check string) "torn tail" "torn" l
+       | _ -> Alcotest.fail "expected the torn tail as Partial");
+      match Lineio.read_line r with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected Eof after the partial tail")
+
+let test_lineio_line_spanning_chunks () =
+  (* A line much longer than the reader's internal chunk comes back whole
+     (and, under the cap, unharmed). *)
+  with_socketpair (fun a b ->
+      let long = String.make 20_000 'y' in
+      write_all a (long ^ "\n");
+      Unix.close a;
+      let r = Lineio.reader b in
+      match Lineio.read_line r with
+      | `Line l ->
+        Alcotest.(check int) "full length" 20_000 (String.length l);
+        Alcotest.(check string) "bytes preserved" long l
+      | _ -> Alcotest.fail "expected the long line")
+
+let test_lineio_oversized_keeps_alignment () =
+  (* Discarding an over-cap frame must leave the stream aligned on the
+     next newline: the following request is read intact. *)
+  with_socketpair (fun a b ->
+      write_all a (String.make 64 'x' ^ "\nok\n");
+      Unix.close a;
+      let r = Lineio.reader b ~max_line:16 in
+      (match Lineio.read_line r with
+       | `Oversized -> ()
+       | _ -> Alcotest.fail "expected Oversized for the 64-byte frame");
+      match Lineio.read_line r with
+      | `Line l -> Alcotest.(check string) "stream still aligned" "ok" l
+      | _ -> Alcotest.fail "expected the next line after the discard")
+
+let test_lineio_idle_budget () =
+  with_socketpair (fun a b ->
+      let r = Lineio.reader b in
+      let t0 = Prelude.Mono.now () in
+      (match Lineio.read_line ~idle_s:0.05 r with
+       | `Idle ->
+         let elapsed = Prelude.Mono.now () -. t0 in
+         Alcotest.(check bool)
+           (Printf.sprintf "waited the budget (%.4fs)" elapsed)
+           true (elapsed >= 0.05)
+       | _ -> Alcotest.fail "expected Idle on a silent peer");
+      (* The reader survives an idle verdict: data arriving later is read
+         normally. *)
+      write_all a "late\n";
+      match Lineio.read_line ~idle_s:1. r with
+      | `Line l -> Alcotest.(check string) "line after idle" "late" l
+      | _ -> Alcotest.fail "expected the late line")
+
+let test_lineio_write_line_closed () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  with_socketpair (fun a b ->
+      Unix.close b;
+      (* The peer is gone; one of the first writes must report Closed
+         (the kernel may buffer the very first one). *)
+      let rec poke tries =
+        match Lineio.write_line a "hello" with
+        | Error `Closed -> ()
+        | Error `Timeout -> Alcotest.fail "unexpected timeout"
+        | Ok () when tries > 0 -> poke (tries - 1)
+        | Ok () -> Alcotest.fail "writes to a closed peer kept succeeding"
+      in
+      poke 10)
+
+let test_lineio_validation () =
+  with_socketpair (fun _a b ->
+      (match Lineio.reader ~max_line:0 b with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "max_line 0 must be rejected");
+      let r = Lineio.reader b in
+      (match Lineio.read_line ~idle_s:0. r with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "idle_s 0 must be rejected");
+      match Lineio.write_line ~deadline_s:(-1.) b "x" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative deadline must be rejected")
+
+(* --- Counter ------------------------------------------------------------- *)
+
+let test_counter_exact_under_contention () =
+  let c = Prelude.Counter.make () in
+  Prelude.Counter.incr c;
+  Prelude.Counter.add c 4;
+  Prelude.Counter.decr c;
+  Alcotest.(check int) "sequential arithmetic" 4 (Prelude.Counter.get c);
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do Prelude.Counter.incr c done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments across 4 domains" 40_004
+    (Prelude.Counter.get c)
+
 let () =
   Alcotest.run "prelude"
     [ ("ratio",
@@ -652,4 +785,19 @@ let () =
          Alcotest.test_case "range" `Quick test_listx_range;
          Alcotest.test_case "cartesian/pairs" `Quick test_listx_cartesian_pairs;
          Alcotest.test_case "take/uniq/sum" `Quick test_listx_take_uniq_sum;
-         Alcotest.test_case "transpose" `Quick test_listx_transpose ]) ]
+         Alcotest.test_case "transpose" `Quick test_listx_transpose ]);
+      ("lineio",
+       [ Alcotest.test_case "lines then torn tail" `Quick
+           test_lineio_lines_and_partial;
+         Alcotest.test_case "line spanning internal chunks" `Quick
+           test_lineio_line_spanning_chunks;
+         Alcotest.test_case "oversized discard keeps alignment" `Quick
+           test_lineio_oversized_keeps_alignment;
+         Alcotest.test_case "idle budget" `Quick test_lineio_idle_budget;
+         Alcotest.test_case "write to a closed peer" `Quick
+           test_lineio_write_line_closed;
+         Alcotest.test_case "parameter validation" `Quick
+           test_lineio_validation ]);
+      ("counter",
+       [ Alcotest.test_case "exact under contention" `Quick
+           test_counter_exact_under_contention ]) ]

@@ -20,17 +20,48 @@ let temp_socket =
    runs on its own domain; the wrapper always shuts it down (idempotent if
    the test body already did) and joins, so a failing test cannot leak a
    listener into the next one. *)
-let with_daemon ?(jobs = 2) ?deadline_s
-    ?(memo_bound = Daemon.default_memo_bound) ?socket f =
+let daemon_config ?(jobs = 2) ?deadline_s
+    ?(memo_bound = Daemon.default_memo_bound)
+    ?(conns = 2) ?(queue = Daemon.default_queue)
+    ?(idle_s = Daemon.default_idle_s) ?(drain_s = 2.)
+    ?(max_frame = Daemon.default_max_frame) socket =
+  { Daemon.socket; jobs; deadline_s; memo_bound; conns; queue; idle_s;
+    drain_s; max_frame }
+
+let with_daemon ?jobs ?deadline_s ?memo_bound ?conns ?queue ?idle_s
+    ?drain_s ?max_frame ?socket f =
   let socket = match socket with Some s -> s | None -> temp_socket () in
-  let config = { Daemon.socket; jobs; deadline_s; memo_bound } in
+  let config =
+    daemon_config ?jobs ?deadline_s ?memo_bound ?conns ?queue ?idle_s
+      ?drain_s ?max_frame socket
+  in
   let daemon = Domain.spawn (fun () -> Daemon.run config) in
   let shutdown () =
-    (match Client.connect ~retry_for_s:2. socket with
-     | Ok c ->
-       ignore (Client.request c (Protocol.request_to_json Protocol.Shutdown));
-       Client.close c
-     | Error _ -> ());
+    (* Retry until acknowledged: a conns=1/queue=0 daemon can shed the
+       shutdown connection itself while its worker is still noticing the
+       previous client's hangup, and an unacknowledged shutdown would
+       leave the join below blocked forever. *)
+    let rec request_shutdown deadline =
+      if Prelude.Mono.now () < deadline then
+        match Client.connect ~retry_for_s:0.5 socket with
+        | Error _ -> ()
+        | Ok c ->
+          let acked =
+            match
+              Client.request ~timeout_s:5. c
+                (Protocol.request_to_json Protocol.Shutdown)
+            with
+            | Ok response ->
+              Json.member "ok" response = Some (Json.Bool true)
+            | Error _ -> false
+          in
+          Client.close c;
+          if not acked then begin
+            Prelude.Mono.sleep 0.02;
+            request_shutdown deadline
+          end
+    in
+    request_shutdown (Prelude.Mono.now () +. 10.);
     Domain.join daemon
   in
   Fun.protect ~finally:shutdown (fun () ->
@@ -44,7 +75,8 @@ let with_daemon ?(jobs = 2) ?deadline_s
 let request ?deadline_s client req =
   match Client.request client (Protocol.request_to_json ?deadline_s req) with
   | Ok response -> response
-  | Error message -> Alcotest.failf "round trip failed: %s" message
+  | Error error ->
+    Alcotest.failf "round trip failed: %s" (Client.error_message error)
 
 let result_of response =
   match Json.member "ok" response with
@@ -374,10 +406,7 @@ let test_unknown_workload_is_request_error () =
 
 let test_busy_socket_refused () =
   with_daemon (fun socket _client ->
-      let config =
-        { Daemon.socket; jobs = 1; deadline_s = None;
-          memo_bound = Daemon.default_memo_bound }
-      in
+      let config = daemon_config ~jobs:1 ~conns:1 socket in
       match Daemon.run config with
       | () -> Alcotest.fail "second daemon bound the same live socket"
       | exception Daemon.Busy _ -> ())
@@ -411,6 +440,185 @@ let test_shutdown_unlinks_socket () =
       wait 200;
       Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket))
 
+(* --- Concurrency --------------------------------------------------------- *)
+
+(* N clients at once against a --conns 4 pool: every certify response must
+   be byte-identical to the document the one-shot CLI constructs — worker
+   domains share the engine table but never each other's responses. *)
+let test_concurrent_clients_byte_identical () =
+  with_daemon ~conns:4 (fun socket _client ->
+      let names = [ "clamp"; "fir"; "clamp"; "fir" ] in
+      let outcomes =
+        List.map
+          (fun name ->
+             Domain.spawn (fun () ->
+                 match Client.connect ~retry_for_s:2. socket with
+                 | Error m -> Error m
+                 | Ok c ->
+                   Fun.protect
+                     ~finally:(fun () -> Client.close c)
+                     (fun () ->
+                        match
+                          Client.request ~timeout_s:30. c
+                            (Protocol.request_to_json
+                               (Protocol.Certify { workloads = [ name ] }))
+                        with
+                        | Error e -> Error (Client.error_message e)
+                        | Ok response ->
+                          Ok (name, Json.to_string (result_of response)))))
+          names
+        |> List.map Domain.join
+      in
+      List.iter
+        (fun outcome ->
+           match outcome with
+           | Error m -> Alcotest.failf "concurrent client failed: %s" m
+           | Ok (name, got) ->
+             let expected =
+               Json.to_string
+                 (Predictability.Certifier.report_to_json
+                    [ Predictability.Certifier.row (Isa.Workload.find name) ])
+             in
+             Alcotest.(check string)
+               ("byte-identical to the CLI document for " ^ name)
+               expected got)
+        outcomes)
+
+(* conns=1, queue=0: while one client owns the only worker, a second
+   connection must be shed with the structured overloaded envelope and
+   counted exactly once. *)
+let test_overload_sheds_with_envelope () =
+  with_daemon ~conns:1 ~queue:0 (fun socket client ->
+      (* A finished round trip proves the worker owns our connection. *)
+      ignore (result_of (request client Protocol.Stats));
+      (match Client.connect ~retry_for_s:2. socket with
+       | Error m -> Alcotest.failf "shed connect failed: %s" m
+       | Ok shed ->
+         Fun.protect
+           ~finally:(fun () -> Client.close shed)
+           (fun () ->
+              match Client.recv ~timeout_s:5. shed with
+              | Error e ->
+                Alcotest.failf "no shed envelope: %s" (Client.error_message e)
+              | Ok response ->
+                Alcotest.(check (option string)) "overloaded status"
+                  (Some "overloaded")
+                  (Option.bind (Json.member "status" response)
+                     Json.string_value);
+                Alcotest.(check bool) "error envelope" false
+                  (match Json.member "ok" response with
+                   | Some (Json.Bool b) -> b
+                   | _ -> true)));
+      let stats = result_of (request client Protocol.Stats) in
+      Alcotest.(check int) "shed counted exactly once" 1
+        (int_field "shed" stats))
+
+(* A frame over --max-frame costs one oversized envelope; the same
+   connection then serves the next request. *)
+let test_oversized_frame_survives_connection () =
+  with_daemon ~max_frame:1024 (fun socket client ->
+      Client.close client;
+      match Client.connect ~retry_for_s:2. ~max_frame:1024 socket with
+      | Error m -> Alcotest.failf "connect failed: %s" m
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+             (match Client.send c (Json.String (String.make 2048 'x')) with
+              | Ok () -> ()
+              | Error e ->
+                Alcotest.failf "send failed: %s" (Client.error_message e));
+             (match Client.recv ~timeout_s:5. c with
+              | Error e ->
+                Alcotest.failf "no oversized envelope: %s"
+                  (Client.error_message e)
+              | Ok response ->
+                Alcotest.(check (option string)) "oversized status"
+                  (Some "oversized")
+                  (Option.bind (Json.member "status" response)
+                     Json.string_value);
+                Alcotest.(check (option int)) "names the cap" (Some 1024)
+                  (Option.bind (Json.member "max_frame" response)
+                     Json.int_value));
+             (* Same connection, next request: still served. *)
+             match
+               Client.request ~timeout_s:5. c
+                 (Protocol.request_to_json Protocol.Stats)
+             with
+             | Error e ->
+               Alcotest.failf "connection did not survive: %s"
+                 (Client.error_message e)
+             | Ok response ->
+               let stats = result_of response in
+               Alcotest.(check int) "oversized frame counted" 1
+                 (int_field "oversized_frames" stats)))
+
+(* A wedged half-frame connection is reaped on the idle deadline while a
+   live sibling on another worker keeps its own (longer) session. *)
+let test_idle_reap_spares_live_sibling () =
+  with_daemon ~conns:2 ~idle_s:(Some 0.3) (fun socket client ->
+      let wedged = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close wedged with Unix.Unix_error _ -> ())
+        (fun () ->
+           Unix.connect wedged (Unix.ADDR_UNIX socket);
+           ignore (Unix.write_substring wedged "{\"op\":\"st" 0 9);
+           (* The sibling stays busy past the idle deadline by making
+              round trips; it must never be reaped. *)
+           let deadline = Prelude.Mono.now () +. (0.3 *. 3.) in
+           while Prelude.Mono.now () < deadline do
+             ignore (result_of (request client Protocol.Stats));
+             Prelude.Mono.sleep 0.05
+           done;
+           let stats = result_of (request client Protocol.Stats) in
+           Alcotest.(check int) "wedged connection reaped exactly once" 1
+             (int_field "reaped_idle" stats)))
+
+(* SIGTERM-equivalent drain: a shutdown request finishes the in-flight
+   work, stops accepting, and unlinks the socket. *)
+let test_drain_finishes_in_flight_and_unlinks () =
+  let socket = temp_socket () in
+  let config = daemon_config ~conns:2 ~drain_s:5. socket in
+  let daemon = Domain.spawn (fun () -> Daemon.run config) in
+  (match Client.connect ~retry_for_s:5. socket with
+   | Error m -> Alcotest.failf "connect failed: %s" m
+   | Ok c ->
+     Fun.protect
+       ~finally:(fun () -> Client.close c)
+       (fun () ->
+          (* In-flight request on one connection... *)
+          match
+            Client.request ~timeout_s:30. c
+              (Protocol.request_to_json
+                 (Protocol.Certify { workloads = [ "clamp" ] }))
+          with
+          | Error e ->
+            Alcotest.failf "in-flight request failed: %s"
+              (Client.error_message e)
+          | Ok response ->
+            ignore (result_of response);
+            (* ...then shutdown from a second connection: the daemon must
+               acknowledge, drain, and unlink. *)
+            (match Client.connect ~retry_for_s:2. socket with
+             | Error m -> Alcotest.failf "shutdown connect failed: %s" m
+             | Ok s ->
+               Fun.protect
+                 ~finally:(fun () -> Client.close s)
+                 (fun () ->
+                    match
+                      Client.request ~timeout_s:5. s
+                        (Protocol.request_to_json Protocol.Shutdown)
+                    with
+                    | Error e ->
+                      Alcotest.failf "shutdown failed: %s"
+                        (Client.error_message e)
+                    | Ok response ->
+                      Alcotest.(check bool) "acknowledged" true
+                        (bool_field "stopping" (result_of response))))));
+  Domain.join daemon;
+  Alcotest.(check bool) "socket unlinked after drain" false
+    (Sys.file_exists socket)
+
 let () =
   Alcotest.run "serve"
     [ ("protocol",
@@ -442,4 +650,15 @@ let () =
          Alcotest.test_case "stale socket reclaimed" `Quick
            test_stale_socket_reclaimed;
          Alcotest.test_case "shutdown unlinks the socket" `Quick
-           test_shutdown_unlinks_socket ]) ]
+           test_shutdown_unlinks_socket ]);
+      ("concurrency",
+       [ Alcotest.test_case "concurrent clients byte-identical" `Slow
+           test_concurrent_clients_byte_identical;
+         Alcotest.test_case "overload sheds with the envelope" `Quick
+           test_overload_sheds_with_envelope;
+         Alcotest.test_case "oversized frame survives the connection" `Quick
+           test_oversized_frame_survives_connection;
+         Alcotest.test_case "idle reap spares a live sibling" `Quick
+           test_idle_reap_spares_live_sibling;
+         Alcotest.test_case "drain finishes in-flight and unlinks" `Quick
+           test_drain_finishes_in_flight_and_unlinks ]) ]

@@ -383,6 +383,33 @@ let test_journal_load_errors () =
       (String.length message > 0)
   | Ok _ -> Alcotest.fail "mid-file corruption must be a hard error"
 
+(* The loader reads through the bounded frame reader: a journal line over
+   the 1 MiB cap (no writer of ours produces one, so it is corruption) is
+   a named load error, not an unbounded allocation — and a within-cap
+   file after it still loads. *)
+let test_journal_oversized_line_rejected () =
+  let path = Filename.temp_file "predlab_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let good = "{\"id\":\"A\",\"title\":\"t\",\"status\":\"completed\"}" in
+  write_file path
+    (good ^ "\n" ^ String.make (Prelude.Lineio.default_max_line + 512) 'x'
+     ^ "\n");
+  (match Journal.load path with
+   | Error message ->
+     Alcotest.(check bool) ("names the cap: " ^ message) true
+       (String.length message > 0)
+   | Ok _ -> Alcotest.fail "an oversized journal line must be a load error");
+  (* A large-but-bounded line is still fine. *)
+  let title = String.make 4096 't' in
+  write_file path
+    (Printf.sprintf
+       "{\"id\":\"A\",\"title\":%S,\"status\":\"completed\"}\n" title);
+  match Journal.load path with
+  | Ok [ e ] ->
+    Alcotest.(check string) "large title survives" title e.Journal.title
+  | Ok _ -> Alcotest.fail "expected exactly one entry"
+  | Error message -> Alcotest.failf "bounded line rejected: %s" message
+
 (* --- Chaos campaigns ----------------------------------------------------- *)
 
 let chaos_entries =
@@ -449,7 +476,9 @@ let () =
          Alcotest.test_case "crashed entries re-run on resume" `Quick
            test_journal_crash_line_reruns;
          Alcotest.test_case "load: missing ok, corrupt fatal" `Quick
-           test_journal_load_errors ]);
+           test_journal_load_errors;
+         Alcotest.test_case "oversized journal line rejected" `Quick
+           test_journal_oversized_line_rejected ]);
       ("chaos",
        [ QCheck_alcotest.to_alcotest prop_chaos_graceful;
          Alcotest.test_case "campaigns arm sites across seeds" `Quick
